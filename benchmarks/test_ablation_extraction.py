@@ -1,0 +1,69 @@
+"""Ablation benchmarks over the extraction design choices.
+
+Each test sweeps one parameter called out in DESIGN.md (SAX alphabet size,
+anomaly window, lag factor, trigger threshold, smoothing window) over a
+small shared corpus and prints the detection-quality table, asserting only
+the monotonic relationships that must hold for the method to make sense.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import (
+    sweep_alphabet,
+    sweep_lag_factor,
+    sweep_smoothing,
+    sweep_threshold,
+    sweep_window,
+)
+
+
+def _show(points):
+    for point in points:
+        print(f"  {point.as_row()}")
+
+
+def test_ablation_lag_factor(benchmark, bench_corpus):
+    points = benchmark.pedantic(lambda: sweep_lag_factor(bench_corpus, factors=(1, 5, 20)), rounds=1, iterations=1)
+    print("\nlag-factor ablation (1 = the paper's equal-window score):")
+    _show(points)
+    by_factor = {p.value: p for p in points}
+    # The background-referenced score is the adaptation that makes extraction
+    # work on the synthetic corpus: coverage must not degrade with it.
+    assert by_factor[20].coverage >= by_factor[1].coverage
+    assert by_factor[20].coverage > 0.25
+
+
+def test_ablation_alphabet(benchmark, bench_corpus):
+    points = benchmark.pedantic(lambda: sweep_alphabet(bench_corpus, alphabets=(4, 8, 12)), rounds=1, iterations=1)
+    print("\nalphabet-size ablation (paper uses 8):")
+    _show(points)
+    # The method must not be hypersensitive to the alphabet: every setting
+    # keeps some detection ability and bounded false alarms.
+    for point in points:
+        assert point.coverage > 0.15
+        assert point.false_alarm_fraction < 0.2
+
+
+def test_ablation_window(benchmark, bench_corpus):
+    points = benchmark.pedantic(lambda: sweep_window(bench_corpus, windows=(50, 100, 200)), rounds=1, iterations=1)
+    print("\nanomaly-window ablation (paper uses 100 samples):")
+    _show(points)
+    assert max(point.coverage for point in points) > 0.3
+
+
+def test_ablation_trigger_threshold(benchmark, bench_corpus):
+    points = benchmark.pedantic(lambda: sweep_threshold(bench_corpus, sigmas=(3.0, 5.0, 8.0)), rounds=1, iterations=1)
+    print("\ntrigger-threshold ablation (paper uses 5 standard deviations):")
+    _show(points)
+    by_sigma = {p.value: p for p in points}
+    # A stricter threshold must never flag more quiet time than a looser one.
+    assert by_sigma[8.0].false_alarm_fraction <= by_sigma[3.0].false_alarm_fraction + 1e-9
+    # And a looser threshold must never cover less of the vocalisations.
+    assert by_sigma[3.0].coverage >= by_sigma[8.0].coverage - 1e-9
+
+
+def test_ablation_smoothing(benchmark, bench_corpus):
+    points = benchmark.pedantic(lambda: sweep_smoothing(bench_corpus, windows=(512, 2048, 4096)), rounds=1, iterations=1)
+    print("\nmoving-average window ablation (paper uses 2250 samples):")
+    _show(points)
+    assert max(point.coverage for point in points) > 0.3

@@ -1,0 +1,36 @@
+"""Figure 2: oscillogram and spectrogram of an acoustic clip.
+
+Benchmarks the computation of the two panels and checks that the spectrogram
+concentrates the vocalisation energy inside the bird-song band, which is the
+visual content of the paper's figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure2 import build_figure2, reference_clip
+
+
+def test_figure2_series(benchmark):
+    clip = reference_clip()
+    data = benchmark(build_figure2, clip)
+    summary = data.summary()
+    print(f"\nfigure 2 summary: {summary}")
+
+    assert summary["amplitude_peak"] == 1.0
+    assert abs(summary["amplitude_mean"]) < 0.05
+    assert data.spectrogram.magnitudes.shape[1] > 100
+
+    # Energy inside vocalisations must concentrate in the 1.2-6.4 kHz band
+    # relative to the band's share during quiet time.
+    spec = data.spectrogram
+    band = (spec.frequencies >= 1200.0) & (spec.frequencies <= 6400.0)
+    voiced_cols = np.zeros(spec.times.size, dtype=bool)
+    for voc in clip.vocalizations:
+        start_t, end_t = voc.start / clip.sample_rate, voc.end / clip.sample_rate
+        voiced_cols |= (spec.times >= start_t) & (spec.times <= end_t)
+    assert voiced_cols.any() and (~voiced_cols).any()
+    voiced_band_energy = spec.magnitudes[np.ix_(band, voiced_cols)].mean()
+    quiet_band_energy = spec.magnitudes[np.ix_(band, ~voiced_cols)].mean()
+    assert voiced_band_energy > 2.0 * quiet_band_energy

@@ -1,0 +1,23 @@
+"""Figure 3: the PAA-reduced spectrogram.
+
+Benchmarks the column-wise PAA reduction and checks the paper's observation
+that the reduced spectrogram remains similar in appearance to the original
+(high column correlation) despite a >10x reduction of the frequency axis.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import build_figure3
+from repro.experiments.figure2 import reference_clip
+
+
+def test_figure3_paa_similarity(benchmark):
+    clip = reference_clip()
+    data = benchmark(build_figure3, clip)
+    summary = data.summary()
+    print(f"\nfigure 3 summary: {summary}")
+
+    assert summary["reduced_shape"][0] == data.segments
+    assert summary["reduction_factor"] >= 10.0
+    assert summary["column_correlation"] > 0.6
+    assert data.reduced.magnitudes.shape[1] == data.original.magnitudes.shape[1]

@@ -1,0 +1,35 @@
+"""Figure 4: conversion of a PAA-processed signal to SAX symbols.
+
+Benchmarks the PAA -> SAX conversion of the figure's example (18 segments,
+5-symbol alphabet) and checks the defining SAX properties: symbols stay
+within the alphabet, follow the signal's ordering, and Gaussian breakpoints
+give near-equiprobable symbols on Gaussian data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure4 import build_figure4
+from repro.timeseries import symbolize
+
+
+def test_figure4_sax_example(benchmark):
+    data = benchmark(build_figure4)
+    print(f"\nfigure 4 summary: {data.summary()}")
+
+    assert data.paa_values.size == 18
+    assert data.sax_word.size == 18
+    assert data.sax_word.min() >= 0 and data.sax_word.max() < 5
+    assert data.breakpoints.size == 4
+    # Symbols must be monotone in the PAA values they encode.
+    order = np.argsort(data.paa_values)
+    assert np.all(np.diff(data.sax_word[order]) >= 0)
+
+
+def test_figure4_equiprobable_symbols(benchmark):
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal(100_000)
+    symbols = benchmark(symbolize, values, 5)
+    frequencies = np.bincount(symbols, minlength=5) / symbols.size
+    assert np.all(np.abs(frequencies - 0.2) < 0.02)

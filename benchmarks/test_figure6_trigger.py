@@ -1,0 +1,30 @@
+"""Figure 6: the trigger signal and the ensembles extracted from a clip.
+
+Benchmarks the full extraction chain on the reference clip and checks the
+figure's visual claims quantitatively: the trigger is high only during a
+small fraction of the clip, the extracted ensembles cover the ground-truth
+vocalisations and very little else.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure6 import build_figure6
+from repro.experiments.figure2 import reference_clip
+
+
+def test_figure6_trigger_and_ensembles(benchmark):
+    clip = reference_clip()
+    data = benchmark.pedantic(lambda: build_figure6(clip), rounds=1, iterations=2)
+    summary = data.summary()
+    print(f"\nfigure 6 summary: {summary}")
+
+    assert summary["ensembles"] >= 1
+    assert summary["ground_truth_vocalizations"] >= 1
+    assert 0.0 < summary["trigger_high_fraction"] < 0.5
+    assert summary["coverage"] > 0.25
+    assert summary["false_alarm_fraction"] < 0.1
+    assert summary["data_reduction_percent"] > 60.0
+    # The trigger and the cut ensembles must agree: the ensembles are exactly
+    # the trigger-high runs above the minimum duration.
+    retained = sum(e.length for e in data.result.ensembles)
+    assert retained <= data.result.trigger.sum()

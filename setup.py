@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`setup.py develop`) used when PEP 660 editable
+wheels cannot be built offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""repro — reproduction of "Automated Ensemble Extraction and Analysis of Acoustic Data Streams".
+
+The package reimplements the full system stack of the DEPSA/ICDCS 2007 paper
+by Kasten, McKinley and Gage:
+
+* :mod:`repro.timeseries` — Z-normalisation, PAA, SAX, SAX bitmaps and the
+  motif / discord baselines from related work.
+* :mod:`repro.dsp` — windows, DFT, spectrograms, oscillograms and WAV I/O.
+* :mod:`repro.core` — the primary contribution: SAX-bitmap anomaly scoring,
+  the adaptive trigger and the cutter that extracts *ensembles* from
+  continuous acoustic streams.
+* :mod:`repro.meso` — the MESO perceptual memory classifier (sensitivity
+  spheres, sphere tree, online incremental learning).
+* :mod:`repro.river` — the Dynamic River distributed stream-processing
+  engine (records, nested scopes, operators, segments, recomposition and
+  fault resilience).
+* :mod:`repro.sensors` — simulated acoustic sensor stations and wireless
+  links.
+* :mod:`repro.synth` — the synthetic bird-song substrate standing in for the
+  paper's field recordings.
+* :mod:`repro.classify` — feature construction, ensemble voting and the
+  cross-validation protocols of the evaluation.
+* :mod:`repro.experiments` — drivers that regenerate every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ClipBuilder, EnsembleExtractor, FAST_EXTRACTION
+
+    rng = np.random.default_rng(7)
+    clip = ClipBuilder(sample_rate=16000, duration=10.0).build("NOCA", rng)
+    result = EnsembleExtractor(FAST_EXTRACTION).extract_clip(clip)
+    print(f"extracted {len(result.ensembles)} ensembles, "
+          f"data reduction {result.reduction:.1%}")
+"""
+
+from .config import (
+    FAST_EXTRACTION,
+    PAPER_EXTRACTION,
+    AnomalyConfig,
+    ExtractionConfig,
+    FeatureConfig,
+    TriggerConfig,
+)
+from .core import (
+    AdaptiveTrigger,
+    Ensemble,
+    EnsembleExtractor,
+    ExtractionResult,
+    ReductionReport,
+    SaxAnomalyScorer,
+    StreamingCutter,
+    cut_ensembles,
+    measure_reduction,
+    sax_anomaly_scores,
+    trigger_signal,
+)
+from .classify import (
+    ConfusionMatrix,
+    EvaluationItem,
+    ExperimentResult,
+    PatternExtractor,
+    leave_one_out,
+    resubstitution,
+)
+from .meso import MesoClassifier, MesoConfig, SensitivitySphere, SphereTree
+from .synth import (
+    SPECIES,
+    SPECIES_CODES,
+    AcousticClip,
+    ClipBuilder,
+    ClipCorpus,
+    CorpusSpec,
+    SpeciesModel,
+    build_corpus,
+    get_species,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcousticClip",
+    "AdaptiveTrigger",
+    "AnomalyConfig",
+    "ClipBuilder",
+    "ClipCorpus",
+    "ConfusionMatrix",
+    "CorpusSpec",
+    "Ensemble",
+    "EnsembleExtractor",
+    "EvaluationItem",
+    "ExperimentResult",
+    "ExtractionConfig",
+    "ExtractionResult",
+    "FAST_EXTRACTION",
+    "FeatureConfig",
+    "MesoClassifier",
+    "MesoConfig",
+    "PAPER_EXTRACTION",
+    "PatternExtractor",
+    "ReductionReport",
+    "SPECIES",
+    "SPECIES_CODES",
+    "SaxAnomalyScorer",
+    "SensitivitySphere",
+    "SphereTree",
+    "SpeciesModel",
+    "StreamingCutter",
+    "TriggerConfig",
+    "build_corpus",
+    "cut_ensembles",
+    "get_species",
+    "leave_one_out",
+    "measure_reduction",
+    "resubstitution",
+    "sax_anomaly_scores",
+    "trigger_signal",
+    "__version__",
+]

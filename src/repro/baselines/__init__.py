@@ -1,0 +1,6 @@
+"""Baselines from related work: energy segmentation and k-NN classification."""
+
+from .knn import KnnClassifier
+from .threshold import EnergySegmenter
+
+__all__ = ["EnergySegmenter", "KnnClassifier"]

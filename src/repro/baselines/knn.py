@@ -1,0 +1,67 @@
+"""k-nearest-neighbour classifier baseline.
+
+MESO is, loosely, an approximate nearest-neighbour memory; a 1-NN / k-NN
+classifier over the raw training patterns is therefore the natural accuracy
+and cost baseline.  The classifier exposes the same ``partial_fit`` /
+``predict`` interface as :class:`repro.meso.MesoClassifier`, so it can be
+dropped into the same cross-validation harness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["KnnClassifier"]
+
+
+class KnnClassifier:
+    """Exact k-NN with Euclidean distance over stored training patterns."""
+
+    def __init__(self, k: int = 1) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._patterns: list[np.ndarray] = []
+        self._labels: list[Hashable] = []
+        self._matrix: np.ndarray | None = None
+
+    @property
+    def pattern_count(self) -> int:
+        return len(self._patterns)
+
+    def partial_fit(self, pattern: np.ndarray, label: Hashable) -> None:
+        """Store one training pattern."""
+        self._patterns.append(np.asarray(pattern, dtype=float).ravel())
+        self._labels.append(label)
+        self._matrix = None
+
+    def fit(self, patterns, labels) -> "KnnClassifier":
+        for pattern, label in zip(patterns, labels):
+            self.partial_fit(pattern, label)
+        return self
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            self._matrix = np.stack(self._patterns)
+        return self._matrix
+
+    def predict(self, pattern: np.ndarray) -> Hashable:
+        """Majority label among the k nearest stored patterns."""
+        if not self._patterns:
+            raise ValueError("classifier has not been trained")
+        matrix = self._ensure_matrix()
+        vector = np.asarray(pattern, dtype=float).ravel()
+        diff = matrix - vector[None, :]
+        dists = np.einsum("ij,ij->i", diff, diff)
+        k = min(self.k, dists.size)
+        nearest = np.argpartition(dists, k - 1)[:k]
+        votes = Counter(self._labels[i] for i in nearest)
+        return max(votes.items(), key=lambda item: (item[1], str(item[0])))[0]
+
+    def reset(self) -> None:
+        self._patterns = []
+        self._labels = []
+        self._matrix = None

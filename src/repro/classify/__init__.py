@@ -1,0 +1,22 @@
+"""Classification experiment harness: features, voting, cross-validation."""
+
+from .confusion import ConfusionMatrix
+from .crossval import EvaluationItem, ExperimentResult, leave_one_out, resubstitution
+from .features import LabelledPattern, PatternExtractor
+from .metrics import AccuracySummary, accuracy, summarize
+from .voting import majority_vote, vote_ensemble
+
+__all__ = [
+    "AccuracySummary",
+    "ConfusionMatrix",
+    "EvaluationItem",
+    "ExperimentResult",
+    "LabelledPattern",
+    "PatternExtractor",
+    "accuracy",
+    "leave_one_out",
+    "majority_vote",
+    "resubstitution",
+    "summarize",
+    "vote_ensemble",
+]

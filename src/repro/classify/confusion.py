@@ -1,0 +1,108 @@
+"""Confusion matrices (Table 3 of the paper).
+
+Rows are the true species, columns the predicted species; cells hold the
+percentage of that row's test items predicted as the column's species, so
+each row sums to 100 (up to rounding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["ConfusionMatrix"]
+
+
+@dataclass
+class ConfusionMatrix:
+    """Accumulating confusion matrix over a fixed label set."""
+
+    labels: list[Hashable]
+    counts: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ValueError("label set must not be empty")
+        if len(set(self.labels)) != len(self.labels):
+            raise ValueError("label set contains duplicates")
+        self.labels = list(self.labels)
+        self._index = {label: i for i, label in enumerate(self.labels)}
+        self.counts = np.zeros((len(self.labels), len(self.labels)), dtype=float)
+
+    def add(self, true_label: Hashable, predicted_label: Hashable) -> None:
+        """Record one classification outcome."""
+        try:
+            row = self._index[true_label]
+        except KeyError:
+            raise KeyError(f"unknown true label {true_label!r}") from None
+        try:
+            col = self._index[predicted_label]
+        except KeyError:
+            raise KeyError(f"unknown predicted label {predicted_label!r}") from None
+        self.counts[row, col] += 1.0
+
+    def add_many(self, true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]) -> None:
+        """Record a batch of outcomes."""
+        if len(true_labels) != len(predicted_labels):
+            raise ValueError("true and predicted label sequences must align")
+        for t, p in zip(true_labels, predicted_labels):
+            self.add(t, p)
+
+    def merge(self, other: "ConfusionMatrix") -> None:
+        """Accumulate another matrix over the same label set (e.g. across repeats)."""
+        if other.labels != self.labels:
+            raise ValueError("cannot merge confusion matrices with different label sets")
+        self.counts += other.counts
+
+    def row_percentages(self) -> np.ndarray:
+        """Matrix of row-normalised percentages (rows with no samples stay 0)."""
+        totals = self.counts.sum(axis=1, keepdims=True)
+        safe = np.where(totals > 0, totals, 1.0)
+        return 100.0 * self.counts / safe
+
+    def accuracy(self) -> float:
+        """Overall fraction of correct classifications."""
+        total = self.counts.sum()
+        if total == 0:
+            return 0.0
+        return float(np.trace(self.counts) / total)
+
+    def per_class_accuracy(self) -> dict[Hashable, float]:
+        """Diagonal percentage for each true label (0 when never tested)."""
+        percentages = self.row_percentages()
+        return {label: float(percentages[i, i]) for i, label in enumerate(self.labels)}
+
+    def diagonal_dominant(self) -> bool:
+        """True when, for every tested row, the diagonal is the row maximum."""
+        percentages = self.row_percentages()
+        for i in range(len(self.labels)):
+            row = percentages[i]
+            if row.sum() == 0:
+                continue
+            if row[i] < row.max():
+                return False
+        return True
+
+    def to_table(self, decimals: int = 1) -> list[list[str]]:
+        """Render as a list of rows (header row first) for plain-text printing."""
+        header = ["True\\Pred"] + [str(label) for label in self.labels]
+        rows = [header]
+        percentages = self.row_percentages()
+        for i, label in enumerate(self.labels):
+            cells = [str(label)]
+            for j in range(len(self.labels)):
+                value = percentages[i, j]
+                cells.append("" if value == 0 else f"{value:.{decimals}f}")
+            rows.append(cells)
+        return rows
+
+    def format(self, decimals: int = 1) -> str:
+        """Human-readable fixed-width rendering of :meth:`to_table`."""
+        table = self.to_table(decimals)
+        widths = [max(len(row[col]) for row in table) for col in range(len(table[0]))]
+        lines = []
+        for row in table:
+            lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)

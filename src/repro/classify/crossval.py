@@ -1,0 +1,165 @@
+"""Cross-validation protocols of the paper's Section 4.
+
+Two experiment designs are reproduced:
+
+* **Leave-one-out** — for each item (pattern or ensemble) in a randomised
+  order, the classifier is trained on all remaining items and tested on the
+  held-out one; accuracy is the fraction of correct classifications.  The
+  whole procedure is repeated ``repeats`` times (paper: n = 20) and the mean
+  and standard deviation reported.
+* **Resubstitution** — the classifier is trained and tested on the entire
+  data set; repeated ``repeats`` times (paper: n = 100).  Resubstitution
+  lacks independence between training and testing but estimates the maximum
+  accuracy attainable on the data set.
+
+Items carry one pattern (pattern data sets) or several (ensemble data sets,
+classified by majority vote).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .confusion import ConfusionMatrix
+from .metrics import AccuracySummary, summarize
+from .voting import vote_ensemble
+
+__all__ = ["EvaluationItem", "ExperimentResult", "leave_one_out", "resubstitution"]
+
+
+@dataclass(frozen=True)
+class EvaluationItem:
+    """One unit of evaluation: a label and the pattern(s) that represent it."""
+
+    label: str
+    patterns: tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise ValueError("evaluation items need at least one pattern")
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one cross-validation experiment."""
+
+    summary: AccuracySummary
+    confusion: ConfusionMatrix
+    training_seconds: float
+    testing_seconds: float
+    per_repeat_accuracy: list[float] = field(default_factory=list)
+
+    def format_row(self, name: str) -> str:
+        """One Table 2-style line: name, accuracy and timing."""
+        return (
+            f"{name:<24} {self.summary.format():>18}   "
+            f"train {self.training_seconds:7.2f}s   test {self.testing_seconds:7.2f}s"
+        )
+
+
+ClassifierFactory = Callable[[], object]
+
+
+def _train(classifier, items: Sequence[EvaluationItem]) -> None:
+    for item in items:
+        for pattern in item.patterns:
+            classifier.partial_fit(pattern, item.label)
+
+
+def _predict_item(classifier, item: EvaluationItem):
+    if len(item.patterns) == 1:
+        return classifier.predict(item.patterns[0])
+    return vote_ensemble(classifier, item.patterns)
+
+
+def _label_set(items: Sequence[EvaluationItem]) -> list[str]:
+    return sorted({item.label for item in items})
+
+
+def leave_one_out(
+    items: Sequence[EvaluationItem],
+    classifier_factory: ClassifierFactory,
+    repeats: int = 20,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Leave-one-out cross-validation with per-repeat randomisation."""
+    if len(items) < 2:
+        raise ValueError("leave-one-out needs at least two items")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    rng = np.random.default_rng(seed)
+    labels = _label_set(items)
+    confusion = ConfusionMatrix(labels)
+    accuracies: list[float] = []
+    train_seconds = 0.0
+    test_seconds = 0.0
+    for _ in range(repeats):
+        order = rng.permutation(len(items))
+        shuffled = [items[i] for i in order]
+        correct = 0
+        for held_out_index, held_out in enumerate(shuffled):
+            training = shuffled[:held_out_index] + shuffled[held_out_index + 1 :]
+            classifier = classifier_factory()
+            start = time.perf_counter()
+            _train(classifier, training)
+            train_seconds += time.perf_counter() - start
+            start = time.perf_counter()
+            predicted = _predict_item(classifier, held_out)
+            test_seconds += time.perf_counter() - start
+            confusion.add(held_out.label, predicted)
+            if predicted == held_out.label:
+                correct += 1
+        accuracies.append(correct / len(shuffled))
+    return ExperimentResult(
+        summary=summarize(accuracies),
+        confusion=confusion,
+        training_seconds=train_seconds,
+        testing_seconds=test_seconds,
+        per_repeat_accuracy=accuracies,
+    )
+
+
+def resubstitution(
+    items: Sequence[EvaluationItem],
+    classifier_factory: ClassifierFactory,
+    repeats: int = 100,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Resubstitution: train and test on the entire data set."""
+    if not items:
+        raise ValueError("resubstitution needs at least one item")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    rng = np.random.default_rng(seed)
+    labels = _label_set(items)
+    confusion = ConfusionMatrix(labels)
+    accuracies: list[float] = []
+    train_seconds = 0.0
+    test_seconds = 0.0
+    for _ in range(repeats):
+        order = rng.permutation(len(items))
+        shuffled = [items[i] for i in order]
+        classifier = classifier_factory()
+        start = time.perf_counter()
+        _train(classifier, shuffled)
+        train_seconds += time.perf_counter() - start
+        correct = 0
+        start = time.perf_counter()
+        for item in shuffled:
+            predicted = _predict_item(classifier, item)
+            confusion.add(item.label, predicted)
+            if predicted == item.label:
+                correct += 1
+        test_seconds += time.perf_counter() - start
+        accuracies.append(correct / len(shuffled))
+    return ExperimentResult(
+        summary=summarize(accuracies),
+        confusion=confusion,
+        training_seconds=train_seconds,
+        testing_seconds=test_seconds,
+        per_repeat_accuracy=accuracies,
+    )

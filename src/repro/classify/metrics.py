@@ -1,0 +1,49 @@
+"""Accuracy metrics and the mean +/- std summaries reported in Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["accuracy", "AccuracySummary", "summarize"]
+
+
+def accuracy(true_labels: Sequence[Hashable], predicted_labels: Sequence[Hashable]) -> float:
+    """Fraction of predictions that match the true label."""
+    if len(true_labels) != len(predicted_labels):
+        raise ValueError("true and predicted label sequences must align")
+    if not true_labels:
+        return 0.0
+    correct = sum(1 for t, p in zip(true_labels, predicted_labels) if t == p)
+    return correct / len(true_labels)
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Mean and standard deviation of accuracy over repeated experiments."""
+
+    mean: float
+    std: float
+    repeats: int
+
+    @property
+    def mean_percent(self) -> float:
+        return 100.0 * self.mean
+
+    @property
+    def std_percent(self) -> float:
+        return 100.0 * self.std
+
+    def format(self) -> str:
+        """Render as the paper does, e.g. ``82.2% +/- 0.9%``."""
+        return f"{self.mean_percent:.1f}% +/- {self.std_percent:.1f}%"
+
+
+def summarize(accuracies: Sequence[float]) -> AccuracySummary:
+    """Summarise a list of per-repeat accuracies (population std, as a spread)."""
+    if not accuracies:
+        raise ValueError("need at least one accuracy value")
+    arr = np.asarray(accuracies, dtype=float)
+    return AccuracySummary(mean=float(arr.mean()), std=float(arr.std()), repeats=arr.size)

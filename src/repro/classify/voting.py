@@ -1,0 +1,36 @@
+"""Per-ensemble voting.
+
+The paper tests each ensemble by classifying each of its patterns
+independently; each prediction is a "vote" for a species and the species
+with the most votes is returned as the recognised species.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Sequence
+
+import numpy as np
+
+__all__ = ["majority_vote", "vote_ensemble"]
+
+
+def majority_vote(votes: Sequence[Hashable]) -> Hashable:
+    """The most common vote; ties are broken by string order for determinism."""
+    if not votes:
+        raise ValueError("cannot vote with zero votes")
+    counts = Counter(votes)
+    best = max(counts.items(), key=lambda item: (item[1], str(item[0])))
+    return best[0]
+
+
+def vote_ensemble(classifier, patterns: Sequence[np.ndarray]) -> Hashable:
+    """Classify every pattern of an ensemble and return the majority species.
+
+    ``classifier`` is anything with a ``predict(pattern)`` method (MESO or a
+    baseline).
+    """
+    if len(patterns) == 0:
+        raise ValueError("ensemble has no patterns to vote with")
+    votes = [classifier.predict(pattern) for pattern in patterns]
+    return majority_vote(votes)

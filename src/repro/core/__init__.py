@@ -1,0 +1,21 @@
+"""Ensemble extraction — the paper's primary contribution."""
+
+from .anomaly import SaxAnomalyScorer, sax_anomaly_scores
+from .cutter import Ensemble, StreamingCutter, cut_ensembles
+from .extractor import EnsembleExtractor, ExtractionResult
+from .reduction import ReductionReport, measure_reduction
+from .trigger import AdaptiveTrigger, trigger_signal
+
+__all__ = [
+    "AdaptiveTrigger",
+    "Ensemble",
+    "EnsembleExtractor",
+    "ExtractionResult",
+    "ReductionReport",
+    "SaxAnomalyScorer",
+    "StreamingCutter",
+    "cut_ensembles",
+    "measure_reduction",
+    "sax_anomaly_scores",
+    "trigger_signal",
+]

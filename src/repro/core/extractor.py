@@ -1,0 +1,107 @@
+"""End-to-end ensemble extraction.
+
+:class:`EnsembleExtractor` chains the anomaly scorer, adaptive trigger and
+cutter — the ``saxanomaly`` / ``trigger`` / ``cutter`` pipeline segment of
+the paper's Figure 5 — into one call that maps a clip to its ensembles,
+keeping the intermediate score and trigger arrays for inspection (they are
+exactly what Figure 6 plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import ExtractionConfig
+from ..synth.clips import AcousticClip
+from .anomaly import sax_anomaly_scores
+from .cutter import Ensemble, cut_ensembles
+from .trigger import AdaptiveTrigger
+
+__all__ = ["ExtractionResult", "EnsembleExtractor"]
+
+
+@dataclass
+class ExtractionResult:
+    """Everything produced while extracting ensembles from one clip."""
+
+    ensembles: list[Ensemble]
+    anomaly_scores: np.ndarray
+    trigger: np.ndarray
+    sample_rate: int
+    total_samples: int
+
+    @property
+    def retained_samples(self) -> int:
+        """Number of samples contained in the extracted ensembles."""
+        return sum(e.length for e in self.ensembles)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the original data removed by extraction (the 80.6 % claim)."""
+        if self.total_samples == 0:
+            return 0.0
+        return 1.0 - self.retained_samples / self.total_samples
+
+    def labelled(self, clip: AcousticClip, min_overlap: float = 0.25) -> list[Ensemble]:
+        """Attach ground-truth species labels to the extracted ensembles.
+
+        An ensemble gets the label of the ground-truth vocalisation it
+        overlaps the most, provided the overlap covers at least
+        ``min_overlap`` of the ensemble; unmatched ensembles are dropped
+        (they correspond to noise events, which the paper's human listener
+        also rejected during validation).
+        """
+        labelled: list[Ensemble] = []
+        for ensemble in self.ensembles:
+            best_species: str | None = None
+            best_overlap = 0
+            for voc in clip.vocalizations:
+                overlap = min(ensemble.end, voc.end) - max(ensemble.start, voc.start)
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best_species = voc.species
+            if best_species is not None and best_overlap >= min_overlap * ensemble.length:
+                labelled.append(ensemble.with_label(best_species))
+        return labelled
+
+
+@dataclass
+class EnsembleExtractor:
+    """Extract ensembles from acoustic signals with one configuration."""
+
+    config: ExtractionConfig = field(default_factory=ExtractionConfig)
+    #: Evaluate the anomaly score every ``hop`` samples (1 = per sample).  The
+    #: default trades ~1 ms of boundary resolution for a large speed-up.
+    hop: int = 16
+
+    def extract(self, samples: np.ndarray, sample_rate: int | None = None) -> ExtractionResult:
+        """Extract ensembles from a raw sample array."""
+        arr = np.asarray(samples, dtype=float).ravel()
+        rate = int(sample_rate or self.config.sample_rate)
+        scores = sax_anomaly_scores(arr, self.config.anomaly, hop=self.hop, smooth=True)
+        settle = self.config.trigger.settle
+        if settle == 0:
+            # Skip the score's warm-up ramp: the SAX windows plus the
+            # moving-average window have to fill before scores are meaningful.
+            settle = (
+                self.config.anomaly.window
+                + self.config.anomaly.lag_window
+                + self.config.anomaly.smooth_window
+            )
+        trigger = AdaptiveTrigger(self.config.trigger, settle=settle).apply(scores)
+        ensembles = cut_ensembles(
+            arr, trigger, rate, min_duration=self.config.trigger.min_duration
+        )
+        return ExtractionResult(
+            ensembles=ensembles,
+            anomaly_scores=scores,
+            trigger=trigger,
+            sample_rate=rate,
+            total_samples=arr.size,
+        )
+
+    def extract_clip(self, clip: AcousticClip) -> ExtractionResult:
+        """Extract ensembles from an :class:`AcousticClip`."""
+        return self.extract(clip.samples, clip.sample_rate)

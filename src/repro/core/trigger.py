@@ -1,0 +1,111 @@
+"""The adaptive trigger operator.
+
+The ``trigger`` operator transforms the smoothed anomaly score into a
+discrete 0/1 signal.  It is adaptive: it incrementally estimates the mean
+``mu0`` (and deviation) of the anomaly score *while the trigger is 0*, and
+emits 1 whenever the score rises more than ``k`` standard deviations above
+``mu0`` (the paper uses k = 5).  Because the baseline statistics are only
+updated from low-trigger samples, loud events do not inflate the baseline.
+
+A ``hangover`` extension keeps the trigger high for a configurable number of
+samples after the score drops back below threshold, bridging the brief gaps
+between syllables of a single vocalisation so one song is extracted as one
+ensemble instead of many fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import TriggerConfig
+from ..timeseries.windows import RunningStats
+
+__all__ = ["AdaptiveTrigger", "trigger_signal"]
+
+
+@dataclass
+class AdaptiveTrigger:
+    """Streaming adaptive trigger over an anomaly-score stream."""
+
+    config: TriggerConfig = field(default_factory=TriggerConfig)
+    #: Initial samples ignored entirely (overrides ``config.settle`` when set;
+    #: the extractor derives it from the anomaly configuration).
+    settle: int | None = None
+
+    def __post_init__(self) -> None:
+        self._baseline = RunningStats(forgetting=self.config.forgetting)
+        self._state = 0
+        self._hang_remaining = 0
+        self._seen = 0
+        self._settle = self.config.settle if self.settle is None else self.settle
+        if self._settle < 0:
+            raise ValueError(f"settle must be >= 0, got {self._settle}")
+
+    @property
+    def state(self) -> int:
+        """Current trigger value (0 or 1)."""
+        return self._state
+
+    @property
+    def baseline_mean(self) -> float:
+        """Current estimate of the low-trigger mean anomaly score (mu0)."""
+        return self._baseline.mean
+
+    @property
+    def baseline_std(self) -> float:
+        """Current estimate of the low-trigger anomaly-score deviation."""
+        return self._baseline.std
+
+    def threshold(self) -> float:
+        """The score level above which the trigger fires."""
+        return self._baseline.mean + self.config.threshold_sigmas * self._baseline.std
+
+    def update(self, score: float) -> int:
+        """Push one anomaly score and return the trigger value (0 or 1)."""
+        score = float(score)
+        self._seen += 1
+        if self._seen <= self._settle:
+            # The score is still ramping up from the empty SAX windows and
+            # moving average; it carries no information about the baseline.
+            return 0
+        warmed = self._baseline.count >= self.config.warmup
+        fires = False
+        if warmed and self._baseline.std > 0:
+            fires = score > self.threshold()
+
+        if fires:
+            self._state = 1
+            self._hang_remaining = self.config.hangover
+        else:
+            if self._state == 1 and self._hang_remaining > 0:
+                self._hang_remaining -= 1
+            else:
+                self._state = 0
+        if self._state == 0 and self._passes_baseline_gate(score, warmed):
+            # Baseline adapts only while the trigger is low.
+            self._baseline.update(score)
+        return self._state
+
+    def _passes_baseline_gate(self, score: float, warmed: bool) -> bool:
+        """True when ``score`` may be folded into the baseline estimate."""
+        gate = self.config.baseline_gate_sigmas
+        if gate is None or not warmed or self._baseline.std <= 0:
+            return True
+        return score <= self._baseline.mean + gate * self._baseline.std
+
+    def apply(self, scores: np.ndarray) -> np.ndarray:
+        """Run the trigger over a whole score array, returning 0/1 values."""
+        arr = np.asarray(scores, dtype=float).ravel()
+        return np.fromiter((self.update(s) for s in arr), dtype=np.int8, count=arr.size)
+
+    def reset(self) -> None:
+        """Forget the baseline and return to the low state."""
+        self.__post_init__()
+
+
+def trigger_signal(scores: np.ndarray, config: TriggerConfig | None = None) -> np.ndarray:
+    """Convenience wrapper: run a fresh :class:`AdaptiveTrigger` over ``scores``."""
+    trig = AdaptiveTrigger(config or TriggerConfig())
+    return trig.apply(scores)

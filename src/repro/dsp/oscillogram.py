@@ -1,0 +1,58 @@
+"""Oscillograms (the top panel of the paper's Figure 2).
+
+An oscillogram is the signal amplitude normalised by subtracting the mean
+and scaling by the maximum absolute amplitude, so it lies in [-1, 1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Oscillogram", "oscillogram", "envelope"]
+
+
+@dataclass(frozen=True)
+class Oscillogram:
+    """Normalised amplitude trace with its time axis."""
+
+    amplitudes: np.ndarray
+    times: np.ndarray
+    sample_rate: float
+
+
+def oscillogram(samples: np.ndarray, sample_rate: float) -> Oscillogram:
+    """Normalise ``samples`` by subtracting the mean and scaling by the peak."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"oscillogram expects a 1-D signal, got shape {arr.shape}")
+    if sample_rate <= 0:
+        raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+    if arr.size == 0:
+        return Oscillogram(amplitudes=arr.copy(), times=arr.copy(), sample_rate=float(sample_rate))
+    centred = arr - arr.mean()
+    peak = np.max(np.abs(centred))
+    if peak > 0:
+        centred = centred / peak
+    times = np.arange(arr.size) / float(sample_rate)
+    return Oscillogram(amplitudes=centred, times=times, sample_rate=float(sample_rate))
+
+
+def envelope(samples: np.ndarray, window: int = 256) -> np.ndarray:
+    """Coarse amplitude envelope: the max absolute value over non-overlapping blocks.
+
+    Handy for quickly locating vocalisation onsets in tests and examples
+    without running the full anomaly pipeline.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"envelope expects a 1-D signal, got shape {arr.shape}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if arr.size == 0:
+        return arr.copy()
+    blocks = int(np.ceil(arr.size / window))
+    padded = np.zeros(blocks * window)
+    padded[: arr.size] = np.abs(arr)
+    return padded.reshape(blocks, window).max(axis=1)

@@ -1,0 +1,43 @@
+"""Simple resampling helpers.
+
+The sensor stations record at one rate while analyses may run at another;
+these helpers provide integer decimation (with a crude anti-alias low-pass)
+and linear-interpolation resampling good enough for the synthetic substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["decimate", "resample_linear"]
+
+
+def decimate(samples: np.ndarray, factor: int, antialias: bool = True) -> np.ndarray:
+    """Keep every ``factor``-th sample, optionally box-filtering first."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"decimate expects a 1-D signal, got shape {arr.shape}")
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if factor == 1 or arr.size == 0:
+        return arr.copy()
+    if antialias:
+        kernel = np.ones(factor) / factor
+        arr = np.convolve(arr, kernel, mode="same")
+    return arr[::factor].copy()
+
+
+def resample_linear(samples: np.ndarray, source_rate: float, target_rate: float) -> np.ndarray:
+    """Resample by linear interpolation onto the target rate's sample grid."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"resample_linear expects a 1-D signal, got shape {arr.shape}")
+    if source_rate <= 0 or target_rate <= 0:
+        raise ValueError("sample rates must be positive")
+    if arr.size == 0 or source_rate == target_rate:
+        return arr.copy()
+    duration = arr.size / source_rate
+    target_count = max(1, int(round(duration * target_rate)))
+    source_times = np.arange(arr.size) / source_rate
+    target_times = np.arange(target_count) / target_rate
+    return np.interp(target_times, source_times, arr)

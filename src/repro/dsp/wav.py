@@ -1,0 +1,115 @@
+"""Minimal WAV (RIFF PCM) reading and writing.
+
+The sensor stations in the paper transmit WAV clips which the ``wav2rec``
+operator encapsulates in pipeline records.  This module implements 16-bit
+PCM mono/stereo read and write using only the standard library and numpy, so
+synthetic clips can be persisted and re-read exactly like field recordings.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["WavClip", "write_wav", "read_wav", "samples_to_pcm16", "pcm16_to_samples"]
+
+
+@dataclass(frozen=True)
+class WavClip:
+    """Decoded WAV audio: float samples in [-1, 1] plus the sample rate."""
+
+    samples: np.ndarray
+    sample_rate: int
+
+    @property
+    def duration(self) -> float:
+        """Clip length in seconds."""
+        return self.samples.shape[-1] / float(self.sample_rate)
+
+    @property
+    def channels(self) -> int:
+        return 1 if self.samples.ndim == 1 else self.samples.shape[0]
+
+
+def samples_to_pcm16(samples: np.ndarray) -> np.ndarray:
+    """Convert float samples in [-1, 1] to little-endian int16 PCM."""
+    arr = np.asarray(samples, dtype=float)
+    clipped = np.clip(arr, -1.0, 1.0)
+    return np.round(clipped * 32767.0).astype("<i2")
+
+
+def pcm16_to_samples(pcm: np.ndarray) -> np.ndarray:
+    """Convert int16 PCM values back to float samples in [-1, 1]."""
+    return np.asarray(pcm, dtype="<i2").astype(float) / 32767.0
+
+
+def write_wav(path: str | Path, samples: np.ndarray, sample_rate: int) -> None:
+    """Write float samples as a 16-bit PCM WAV file.
+
+    ``samples`` is either 1-D (mono) or shaped ``(channels, frames)``.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if sample_rate <= 0:
+        raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+    if arr.ndim == 1:
+        channels = 1
+        interleaved = samples_to_pcm16(arr)
+    elif arr.ndim == 2:
+        channels = arr.shape[0]
+        interleaved = samples_to_pcm16(arr.T.reshape(-1))
+    else:
+        raise ValueError(f"samples must be 1-D or 2-D, got shape {arr.shape}")
+
+    data = interleaved.tobytes()
+    bits_per_sample = 16
+    byte_rate = sample_rate * channels * bits_per_sample // 8
+    block_align = channels * bits_per_sample // 8
+
+    header = b"RIFF"
+    header += struct.pack("<I", 36 + len(data))
+    header += b"WAVE"
+    header += b"fmt "
+    header += struct.pack("<IHHIIHH", 16, 1, channels, sample_rate, byte_rate, block_align, bits_per_sample)
+    header += b"data"
+    header += struct.pack("<I", len(data))
+
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(data)
+
+
+def read_wav(path: str | Path) -> WavClip:
+    """Read a 16-bit PCM WAV file written by :func:`write_wav` (or compatible)."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < 44 or blob[:4] != b"RIFF" or blob[8:12] != b"WAVE":
+        raise ValueError(f"{path}: not a RIFF/WAVE file")
+
+    # Walk the chunk list; only 'fmt ' and 'data' are required.
+    offset = 12
+    fmt: tuple | None = None
+    data: bytes | None = None
+    while offset + 8 <= len(blob):
+        chunk_id = blob[offset : offset + 4]
+        (chunk_size,) = struct.unpack("<I", blob[offset + 4 : offset + 8])
+        body = blob[offset + 8 : offset + 8 + chunk_size]
+        if chunk_id == b"fmt ":
+            fmt = struct.unpack("<HHIIHH", body[:16])
+        elif chunk_id == b"data":
+            data = body
+        offset += 8 + chunk_size + (chunk_size % 2)
+    if fmt is None or data is None:
+        raise ValueError(f"{path}: missing fmt or data chunk")
+
+    audio_format, channels, sample_rate, _byte_rate, _block_align, bits = fmt
+    if audio_format != 1 or bits != 16:
+        raise ValueError(f"{path}: only 16-bit PCM is supported (format={audio_format}, bits={bits})")
+    pcm = np.frombuffer(data, dtype="<i2")
+    samples = pcm16_to_samples(pcm)
+    if channels > 1:
+        frames = samples.size // channels
+        samples = samples[: frames * channels].reshape(frames, channels).T
+    return WavClip(samples=samples, sample_rate=int(sample_rate))

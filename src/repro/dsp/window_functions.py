@@ -1,0 +1,84 @@
+"""Tapering window functions.
+
+The feature pipeline applies a Welch window to each resliced record before
+the DFT (``welchwindow`` operator) to minimise edge effects between records.
+Hann, Hamming and rectangular windows are provided for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "welch_window",
+    "hann_window",
+    "hamming_window",
+    "rectangular_window",
+    "apply_window",
+    "get_window",
+]
+
+
+def welch_window(length: int) -> np.ndarray:
+    """Welch (parabolic) window: ``1 - ((n - N/2) / (N/2))**2``."""
+    if length < 1:
+        raise ValueError(f"window length must be >= 1, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length, dtype=float)
+    half = (length - 1) / 2.0
+    return 1.0 - ((n - half) / half) ** 2
+
+
+def hann_window(length: int) -> np.ndarray:
+    """Hann (raised cosine) window."""
+    if length < 1:
+        raise ValueError(f"window length must be >= 1, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length, dtype=float)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1))
+
+
+def hamming_window(length: int) -> np.ndarray:
+    """Hamming window."""
+    if length < 1:
+        raise ValueError(f"window length must be >= 1, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length, dtype=float)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / (length - 1))
+
+
+def rectangular_window(length: int) -> np.ndarray:
+    """Rectangular (no taper) window."""
+    if length < 1:
+        raise ValueError(f"window length must be >= 1, got {length}")
+    return np.ones(length)
+
+
+_WINDOWS = {
+    "welch": welch_window,
+    "hann": hann_window,
+    "hamming": hamming_window,
+    "rectangular": rectangular_window,
+    "boxcar": rectangular_window,
+}
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Look up a window function by name and evaluate it at ``length`` points."""
+    key = name.lower()
+    if key not in _WINDOWS:
+        raise ValueError(f"unknown window '{name}'; choose from {sorted(set(_WINDOWS))}")
+    return _WINDOWS[key](length)
+
+
+def apply_window(values: np.ndarray, name: str = "welch") -> np.ndarray:
+    """Multiply ``values`` by the named window of matching length."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"apply_window expects a 1-D sequence, got shape {arr.shape}")
+    if arr.size == 0:
+        return arr.copy()
+    return arr * get_window(name, arr.size)

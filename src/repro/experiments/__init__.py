@@ -1,0 +1,76 @@
+"""Experiment drivers that regenerate every table and figure of the paper."""
+
+from .ablation import (
+    AblationPoint,
+    default_ablation_corpus,
+    evaluate_config,
+    sweep_alphabet,
+    sweep_lag_factor,
+    sweep_smoothing,
+    sweep_threshold,
+    sweep_window,
+)
+from .datasets import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    TEST_SCALE,
+    ExperimentData,
+    ExperimentScale,
+    build_experiment_data,
+)
+from .figure2 import Figure2Data, build_figure2, reference_clip
+from .figure3 import Figure3Data, build_figure3
+from .figure4 import Figure4Data, build_figure4
+from .figure6 import Figure6Data, build_figure6
+from .paper_values import (
+    PAPER_REDUCTION_PERCENT,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3_DIAGONAL,
+)
+from .reduction import ReductionComparison, build_reduction
+from .table1 import Table1Row, build_table1, format_table1
+from .table2 import Table2Row, build_table2, check_shape, format_table2
+from .table3 import Table3Result, build_table3, format_table3
+
+__all__ = [
+    "AblationPoint",
+    "BENCH_SCALE",
+    "ExperimentData",
+    "ExperimentScale",
+    "Figure2Data",
+    "Figure3Data",
+    "Figure4Data",
+    "Figure6Data",
+    "PAPER_REDUCTION_PERCENT",
+    "PAPER_SCALE",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3_DIAGONAL",
+    "ReductionComparison",
+    "TEST_SCALE",
+    "Table1Row",
+    "Table2Row",
+    "Table3Result",
+    "build_experiment_data",
+    "build_figure2",
+    "build_figure3",
+    "build_figure4",
+    "build_figure6",
+    "build_reduction",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "check_shape",
+    "default_ablation_corpus",
+    "evaluate_config",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "reference_clip",
+    "sweep_alphabet",
+    "sweep_lag_factor",
+    "sweep_smoothing",
+    "sweep_threshold",
+    "sweep_window",
+]

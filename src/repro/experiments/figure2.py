@@ -1,0 +1,65 @@
+"""Figure 2: oscillogram and spectrogram of an acoustic clip.
+
+The figure itself is a plot; the experiment regenerates the underlying
+numeric series — the normalised amplitude trace and the spectrogram
+magnitude matrix — and reports summary statistics that a plotting script
+(or the benchmark assertions) can consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dsp.oscillogram import Oscillogram, oscillogram
+from ..dsp.spectrogram import Spectrogram, spectrogram
+from ..synth.clips import AcousticClip, ClipBuilder
+
+__all__ = ["Figure2Data", "reference_clip", "build_figure2", "main"]
+
+
+def reference_clip(seed: int = 2007, sample_rate: int = 16000, duration: float = 15.0) -> AcousticClip:
+    """The clip used by Figures 2, 3 and 6 (one cardinal, one chickadee song)."""
+    rng = np.random.default_rng(seed)
+    builder = ClipBuilder(sample_rate=sample_rate, duration=duration)
+    return builder.build(["NOCA", "BCCH"], rng, songs_per_species=1, station_id="figure-clip")
+
+
+@dataclass
+class Figure2Data:
+    """The two panels of Figure 2 as numeric series."""
+
+    clip: AcousticClip
+    oscillogram: Oscillogram
+    spectrogram: Spectrogram
+
+    def summary(self) -> dict:
+        """Headline numbers for quick comparison and benchmark assertions."""
+        return {
+            "duration_seconds": round(self.clip.duration, 2),
+            "amplitude_peak": float(np.max(np.abs(self.oscillogram.amplitudes))),
+            "amplitude_mean": float(np.mean(self.oscillogram.amplitudes)),
+            "spectrogram_shape": tuple(self.spectrogram.shape),
+            "max_frequency_hz": float(self.spectrogram.frequencies[-1]),
+        }
+
+
+def build_figure2(
+    clip: AcousticClip | None = None, frame_size: int = 512, seed: int = 2007
+) -> Figure2Data:
+    """Compute the oscillogram and spectrogram of the reference clip."""
+    clip = clip or reference_clip(seed=seed)
+    osc = oscillogram(clip.samples, clip.sample_rate)
+    spec = spectrogram(clip.samples, clip.sample_rate, frame_size=frame_size)
+    return Figure2Data(clip=clip, oscillogram=osc, spectrogram=spec)
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    data = build_figure2()
+    for key, value in data.summary().items():
+        print(f"{key}: {value}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

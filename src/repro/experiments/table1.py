@@ -1,0 +1,75 @@
+"""Table 1: species codes, names, pattern and ensemble counts.
+
+The absolute counts depend on the corpus size (the paper recorded at field
+stations over a season; we generate a synthetic corpus), so the comparison
+of interest is structural: all ten species are represented, every species
+yields multiple ensembles, and each ensemble yields several patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..synth.species import SPECIES
+from .datasets import BENCH_SCALE, ExperimentData, ExperimentScale, build_experiment_data
+from .paper_values import PAPER_TABLE1
+
+__all__ = ["Table1Row", "build_table1", "format_table1", "main"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1: paper counts next to measured counts."""
+
+    code: str
+    common_name: str
+    paper_patterns: int
+    paper_ensembles: int
+    measured_patterns: int
+    measured_ensembles: int
+
+
+def build_table1(data: ExperimentData | None = None, scale: ExperimentScale = BENCH_SCALE) -> list[Table1Row]:
+    """Compute the per-species counts for the given experiment data."""
+    if data is None:
+        data = build_experiment_data(scale)
+    counts = data.species_counts()
+    rows = []
+    for model in SPECIES:
+        name, paper_patterns, paper_ensembles = PAPER_TABLE1[model.code]
+        measured = counts.get(model.code, {"ensembles": 0, "patterns": 0})
+        rows.append(
+            Table1Row(
+                code=model.code,
+                common_name=name,
+                paper_patterns=paper_patterns,
+                paper_ensembles=paper_ensembles,
+                measured_patterns=measured["patterns"],
+                measured_ensembles=measured["ensembles"],
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Plain-text rendering with paper and measured counts side by side."""
+    lines = [
+        f"{'Code':<6}{'Common name':<26}{'paper pat':>10}{'paper ens':>10}{'our pat':>9}{'our ens':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.code:<6}{row.common_name:<26}{row.paper_patterns:>10}{row.paper_ensembles:>10}"
+            f"{row.measured_patterns:>9}{row.measured_ensembles:>9}"
+        )
+    total_pat = sum(r.measured_patterns for r in rows)
+    total_ens = sum(r.measured_ensembles for r in rows)
+    lines.append(f"{'TOTAL':<6}{'':<26}{3673:>10}{473:>10}{total_pat:>9}{total_ens:>9}")
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    print(format_table1(build_table1()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

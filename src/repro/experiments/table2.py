@@ -1,0 +1,137 @@
+"""Table 2: MESO classification accuracy and timing on the four data sets.
+
+For each of *Pattern*, *Ensemble*, *PAA Pattern* and *PAA Ensemble* the
+driver runs the leave-one-out and resubstitution protocols and reports the
+mean accuracy, its standard deviation over repeats, and the cumulative
+training / testing time — the same rows the paper's Table 2 reports.
+
+Shape expectations (EXPERIMENTS.md tracks these):
+
+* resubstitution accuracy exceeds leave-one-out accuracy on every data set;
+* resubstitution accuracy exceeds 90 % on every data set;
+* the PAA variants beat their raw counterparts on leave-one-out accuracy;
+* the ensemble (voting) variants beat the single-pattern variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..classify.crossval import ExperimentResult, leave_one_out, resubstitution
+from ..meso.classifier import MesoClassifier, MesoConfig
+from .datasets import BENCH_SCALE, ExperimentData, ExperimentScale, build_experiment_data
+from .paper_values import PAPER_TABLE2
+
+__all__ = ["Table2Row", "build_table2", "format_table2", "main"]
+
+DATASET_NAMES = ("Pattern", "Ensemble", "PAA Pattern", "PAA Ensemble")
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One (data set, protocol) cell block of Table 2."""
+
+    dataset: str
+    protocol: str
+    paper_accuracy: float
+    paper_std: float
+    measured_accuracy: float
+    measured_std: float
+    training_seconds: float
+    testing_seconds: float
+    result: ExperimentResult
+
+
+def default_classifier_factory() -> MesoClassifier:
+    """The classifier configuration used by all Table 2 / Table 3 runs."""
+    return MesoClassifier(MesoConfig())
+
+
+def build_table2(
+    data: ExperimentData | None = None,
+    scale: ExperimentScale = BENCH_SCALE,
+    classifier_factory=default_classifier_factory,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+) -> list[Table2Row]:
+    """Run the Table 2 experiments and return the rows."""
+    if data is None:
+        data = build_experiment_data(scale)
+    rows: list[Table2Row] = []
+    for name in datasets:
+        items = data.dataset(name)
+        for protocol, runner, repeats in (
+            ("Leave-one-out", leave_one_out, data.scale.loo_repeats),
+            ("Resubstitution", resubstitution, data.scale.resub_repeats),
+        ):
+            result = runner(items, classifier_factory, repeats=repeats, seed=data.scale.corpus.seed)
+            paper_acc, paper_std = PAPER_TABLE2[name][protocol]
+            rows.append(
+                Table2Row(
+                    dataset=name,
+                    protocol=protocol,
+                    paper_accuracy=paper_acc,
+                    paper_std=paper_std,
+                    measured_accuracy=result.summary.mean_percent,
+                    measured_std=result.summary.std_percent,
+                    training_seconds=result.training_seconds,
+                    testing_seconds=result.testing_seconds,
+                    result=result,
+                )
+            )
+    return rows
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    """Plain-text rendering with paper and measured accuracies side by side."""
+    lines = [
+        f"{'Data set':<14}{'Protocol':<16}{'paper':>14}{'measured':>16}{'train(s)':>10}{'test(s)':>9}"
+    ]
+    for row in rows:
+        paper = f"{row.paper_accuracy:.1f}%±{row.paper_std:.1f}%"
+        measured = f"{row.measured_accuracy:.1f}%±{row.measured_std:.1f}%"
+        lines.append(
+            f"{row.dataset:<14}{row.protocol:<16}{paper:>14}{measured:>16}"
+            f"{row.training_seconds:>10.2f}{row.testing_seconds:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def check_shape(rows: list[Table2Row]) -> dict[str, bool]:
+    """Evaluate the qualitative claims the reproduction must preserve."""
+    accuracy = {(row.dataset, row.protocol): row.measured_accuracy for row in rows}
+
+    def get(dataset: str, protocol: str) -> float:
+        return accuracy.get((dataset, protocol), float("nan"))
+
+    checks = {
+        "resubstitution_above_90": all(
+            get(name, "Resubstitution") > 90.0
+            for name in DATASET_NAMES
+            if (name, "Resubstitution") in accuracy
+        ),
+        "resubstitution_beats_loo": all(
+            get(name, "Resubstitution") >= get(name, "Leave-one-out")
+            for name in DATASET_NAMES
+            if (name, "Resubstitution") in accuracy and (name, "Leave-one-out") in accuracy
+        ),
+        "paa_beats_raw_on_loo": (
+            get("PAA Pattern", "Leave-one-out") >= get("Pattern", "Leave-one-out")
+            and get("PAA Ensemble", "Leave-one-out") >= get("Ensemble", "Leave-one-out")
+        ),
+        "ensembles_beat_patterns_on_loo": (
+            get("Ensemble", "Leave-one-out") >= get("Pattern", "Leave-one-out")
+            and get("PAA Ensemble", "Leave-one-out") >= get("PAA Pattern", "Leave-one-out")
+        ),
+    }
+    return checks
+
+
+def main() -> None:  # pragma: no cover - thin CLI wrapper
+    rows = build_table2()
+    print(format_table2(rows))
+    for name, passed in check_shape(rows).items():
+        print(f"  shape check {name}: {'PASS' if passed else 'FAIL'}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

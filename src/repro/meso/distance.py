@@ -1,0 +1,32 @@
+"""Distance metrics available to MESO.
+
+MESO clusters patterns with a pluggable metric; Euclidean distance is the
+default used in the paper's experiments.  Metrics are registered by name so
+the classifier can be configured from plain strings in experiment configs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..timeseries.distance import euclidean, manhattan, normalized_euclidean
+
+__all__ = ["get_metric", "METRICS"]
+
+MetricFn = Callable[[np.ndarray, np.ndarray], float]
+
+METRICS: dict[str, MetricFn] = {
+    "euclidean": euclidean,
+    "manhattan": manhattan,
+    "normalized_euclidean": normalized_euclidean,
+}
+
+
+def get_metric(name: str) -> MetricFn:
+    """Look up a metric function by name."""
+    key = name.lower()
+    if key not in METRICS:
+        raise ValueError(f"unknown metric '{name}'; choose from {sorted(METRICS)}")
+    return METRICS[key]

@@ -1,0 +1,93 @@
+"""Sensitivity spheres.
+
+MESO's novel feature (Kasten & McKinley, TKDE 2007) is its use of small
+agglomerative clusters, called *sensitivity spheres*, that aggregate similar
+training patterns.  A sphere has a centre (the mean of its member patterns),
+a sensitivity radius delta shared across the memory, and a label histogram
+recording which classes its members came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+__all__ = ["SensitivitySphere"]
+
+
+@dataclass
+class SensitivitySphere:
+    """One sensitivity sphere: centre, member patterns and their labels."""
+
+    center: np.ndarray
+    #: Member patterns (kept so spheres can be merged or inspected); storing
+    #: them mirrors MESO, which retains training patterns inside spheres.
+    members: list[np.ndarray] = field(default_factory=list)
+    #: Per-member labels, parallel to ``members``.
+    labels: list[Hashable] = field(default_factory=list)
+    #: Sum of member patterns, used to keep the centre an exact mean.
+    _sum: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.center = np.asarray(self.center, dtype=float).ravel()
+        self._sum = np.zeros_like(self.center)
+        if self.members or self.labels:
+            raise ValueError("construct spheres empty and add members via add()")
+
+    @property
+    def dimension(self) -> int:
+        return self.center.size
+
+    @property
+    def count(self) -> int:
+        """Number of member patterns."""
+        return len(self.members)
+
+    @property
+    def label_counts(self) -> dict[Hashable, int]:
+        """Label -> member count histogram."""
+        counts: dict[Hashable, int] = {}
+        for label in self.labels:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def add(self, pattern: np.ndarray, label: Hashable) -> None:
+        """Add a training pattern; the centre becomes the mean of all members."""
+        vector = np.asarray(pattern, dtype=float).ravel()
+        if vector.size != self.center.size:
+            raise ValueError(
+                f"pattern has {vector.size} features but sphere expects {self.center.size}"
+            )
+        self.members.append(vector)
+        self.labels.append(label)
+        self._sum += vector
+        self.center = self._sum / self.count
+
+    def majority_label(self) -> Hashable:
+        """The label held by the most member patterns (ties broken by repr order)."""
+        if not self.labels:
+            raise ValueError("sphere has no members")
+        return max(self.label_counts.items(), key=lambda item: (item[1], str(item[0])))[0]
+
+    def label_distribution(self) -> dict[Hashable, float]:
+        """Normalised label histogram of the member patterns."""
+        if not self.labels:
+            return {}
+        total = self.count
+        return {label: count / total for label, count in self.label_counts.items()}
+
+    def radius(self) -> float:
+        """Largest distance from the centre to any member (0 for singletons)."""
+        if not self.members:
+            return 0.0
+        diffs = np.stack(self.members) - self.center[None, :]
+        return float(np.sqrt(np.max(np.einsum("ij,ij->i", diffs, diffs))))
+
+    def merge(self, other: "SensitivitySphere") -> None:
+        """Absorb another sphere's members (used when compressing the memory)."""
+        if other.dimension != self.dimension:
+            raise ValueError("cannot merge spheres of different dimensionality")
+        for pattern, label in zip(other.members, other.labels):
+            self.add(pattern, label)

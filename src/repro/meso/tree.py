@@ -1,0 +1,155 @@
+"""Hierarchical sphere tree.
+
+MESO organises its sensitivity spheres in an agglomerative hierarchy so
+queries need not compare a test pattern against every sphere.  This module
+builds a binary partition tree over sphere centres: each internal node picks
+two pivot spheres (the pair of children centres farthest apart among a
+sample) and assigns every sphere to its nearer pivot.  Queries descend
+toward the nearer pivot, optionally backtracking into the farther branch
+when the current best distance does not rule it out, so accuracy is
+preserved while most comparisons are pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .sphere import SensitivitySphere
+
+__all__ = ["SphereTree", "SphereTreeNode"]
+
+
+@dataclass
+class SphereTreeNode:
+    """A node of the sphere partition tree."""
+
+    #: Indices (into the tree's sphere list) covered by this node.
+    indices: list[int]
+    #: Mean of the covered sphere centres.
+    centroid: np.ndarray
+    #: Radius: max distance from the centroid to any covered centre.
+    radius: float
+    left: "SphereTreeNode | None" = None
+    right: "SphereTreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+@dataclass
+class SphereTree:
+    """Partition tree over a fixed list of spheres.
+
+    The tree holds references to the spheres it was built from; rebuilding
+    after incremental training is the caller's responsibility (the
+    classifier rebuilds lazily when the sphere count has grown enough).
+    """
+
+    spheres: list[SensitivitySphere]
+    leaf_size: int = 8
+    root: SphereTreeNode | None = field(init=False, default=None)
+    _centers: np.ndarray = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {self.leaf_size}")
+        if self.spheres:
+            self._centers = np.stack([s.center for s in self.spheres])
+            self.root = self._build(list(range(len(self.spheres))))
+
+    # -- construction -----------------------------------------------------
+
+    def _node_for(self, indices: list[int]) -> SphereTreeNode:
+        centers = self._centers[indices]
+        centroid = centers.mean(axis=0)
+        diffs = centers - centroid[None, :]
+        radius = float(np.sqrt(np.max(np.einsum("ij,ij->i", diffs, diffs)))) if indices else 0.0
+        return SphereTreeNode(indices=indices, centroid=centroid, radius=radius)
+
+    def _build(self, indices: list[int]) -> SphereTreeNode:
+        node = self._node_for(indices)
+        if len(indices) <= self.leaf_size:
+            return node
+        left_idx, right_idx = self._split(indices)
+        if not left_idx or not right_idx:
+            return node
+        node.left = self._build(left_idx)
+        node.right = self._build(right_idx)
+        return node
+
+    def _split(self, indices: list[int]) -> tuple[list[int], list[int]]:
+        """Pick two far-apart pivots and partition ``indices`` between them."""
+        centers = self._centers[indices]
+        # Deterministic two-sweep farthest-pair heuristic.
+        first = 0
+        diffs = centers - centers[first][None, :]
+        pivot_a = int(np.argmax(np.einsum("ij,ij->i", diffs, diffs)))
+        diffs = centers - centers[pivot_a][None, :]
+        pivot_b = int(np.argmax(np.einsum("ij,ij->i", diffs, diffs)))
+        if pivot_a == pivot_b:
+            return indices, []
+        da = np.linalg.norm(centers - centers[pivot_a][None, :], axis=1)
+        db = np.linalg.norm(centers - centers[pivot_b][None, :], axis=1)
+        left_mask = da <= db
+        left = [idx for idx, keep in zip(indices, left_mask) if keep]
+        right = [idx for idx, keep in zip(indices, left_mask) if not keep]
+        return left, right
+
+    # -- queries ----------------------------------------------------------
+
+    def nearest(self, query: np.ndarray, exact: bool = True) -> tuple[int, float]:
+        """Index of the sphere whose centre is nearest to ``query``.
+
+        With ``exact=True`` the search backtracks whenever a pruned branch
+        could still contain a closer centre (ball-tree bound), so the result
+        matches brute force.  With ``exact=False`` the search is greedy
+        (defeatist) and trades a little accuracy for speed.
+        """
+        if not self.spheres or self.root is None:
+            raise ValueError("tree is empty")
+        vector = np.asarray(query, dtype=float).ravel()
+        best = {"index": -1, "distance": np.inf}
+        self._search(self.root, vector, best, exact)
+        return best["index"], float(best["distance"])
+
+    def _search(self, node: SphereTreeNode, query: np.ndarray, best: dict, exact: bool) -> None:
+        if node.is_leaf:
+            centers = self._centers[node.indices]
+            dists = np.linalg.norm(centers - query[None, :], axis=1)
+            local = int(np.argmin(dists))
+            if dists[local] < best["distance"]:
+                best["distance"] = float(dists[local])
+                best["index"] = node.indices[local]
+            return
+        children = [child for child in (node.left, node.right) if child is not None]
+        order = sorted(children, key=lambda c: np.linalg.norm(c.centroid - query))
+        for rank, child in enumerate(order):
+            bound = np.linalg.norm(child.centroid - query) - child.radius
+            if rank == 0 or (exact and bound < best["distance"]):
+                self._search(child, query, best, exact)
+
+    def brute_force_nearest(self, query: np.ndarray) -> tuple[int, float]:
+        """Reference linear scan over all sphere centres."""
+        if not self.spheres:
+            raise ValueError("tree is empty")
+        vector = np.asarray(query, dtype=float).ravel()
+        dists = np.linalg.norm(self._centers - vector[None, :], axis=1)
+        index = int(np.argmin(dists))
+        return index, float(dists[index])
+
+    def __len__(self) -> int:
+        return len(self.spheres)
+
+    def depth(self) -> int:
+        """Height of the tree (1 for a single leaf)."""
+        def walk(node: SphereTreeNode | None) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root)

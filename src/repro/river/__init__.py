@@ -1,0 +1,82 @@
+"""Dynamic River: a distributed stream-processing engine with scoped records."""
+
+from .acoustic import (
+    ExtractionOutput,
+    build_extraction_pipeline,
+    build_feature_pipeline,
+    run_extraction,
+)
+from .channels import ByteChannel, Channel, LinkStats, QueueChannel, SimulatedLinkChannel
+from .errors import ChannelClosed, PlacementError, RiverError, ScopeError, SerializationError
+from .fault import FaultInjector, SegmentCrash, count_bad_closes, scope_repair_summary
+from .operator_base import (
+    FunctionOperator,
+    Operator,
+    PassThrough,
+    SinkOperator,
+    SourceOperator,
+)
+from .pipeline import Pipeline, PipelineSegment, SegmentState
+from .placement import Deployment, Host, QoSMonitor, QoSReport
+from .records import (
+    Record,
+    RecordType,
+    ScopeType,
+    Subtype,
+    bad_close_scope,
+    close_scope,
+    data_record,
+    end_of_stream,
+    open_scope,
+)
+from .scopes import ScopeFrame, ScopeStack, validate_stream
+from .serialization import pack_record, pack_stream, unpack_record, unpack_stream
+
+__all__ = [
+    "ByteChannel",
+    "Channel",
+    "ChannelClosed",
+    "Deployment",
+    "ExtractionOutput",
+    "FaultInjector",
+    "FunctionOperator",
+    "Host",
+    "LinkStats",
+    "Operator",
+    "PassThrough",
+    "Pipeline",
+    "PipelineSegment",
+    "PlacementError",
+    "QoSMonitor",
+    "QoSReport",
+    "QueueChannel",
+    "Record",
+    "RecordType",
+    "RiverError",
+    "ScopeError",
+    "ScopeFrame",
+    "ScopeStack",
+    "ScopeType",
+    "SegmentCrash",
+    "SegmentState",
+    "SerializationError",
+    "SimulatedLinkChannel",
+    "SinkOperator",
+    "SourceOperator",
+    "Subtype",
+    "bad_close_scope",
+    "build_extraction_pipeline",
+    "build_feature_pipeline",
+    "close_scope",
+    "count_bad_closes",
+    "data_record",
+    "end_of_stream",
+    "open_scope",
+    "pack_record",
+    "pack_stream",
+    "run_extraction",
+    "scope_repair_summary",
+    "unpack_record",
+    "unpack_stream",
+    "validate_stream",
+]

@@ -1,0 +1,31 @@
+"""Exception types raised by the Dynamic River engine."""
+
+from __future__ import annotations
+
+__all__ = [
+    "RiverError",
+    "ScopeError",
+    "SerializationError",
+    "ChannelClosed",
+    "PlacementError",
+]
+
+
+class RiverError(Exception):
+    """Base class for all Dynamic River errors."""
+
+
+class ScopeError(RiverError):
+    """Raised when scope nesting is violated (unbalanced open/close)."""
+
+
+class SerializationError(RiverError):
+    """Raised when a record cannot be packed or unpacked."""
+
+
+class ChannelClosed(RiverError):
+    """Raised when reading from or writing to a closed channel."""
+
+
+class PlacementError(RiverError):
+    """Raised when a pipeline segment cannot be placed on or moved to a host."""

@@ -1,0 +1,94 @@
+"""Fault injection and recovery helpers.
+
+Preserving stream integrity under failure is Dynamic River's selling point:
+when an upstream segment terminates unexpectedly, open scopes are closed
+with ``BadCloseScope`` records so downstream processing can resynchronise.
+This module provides a deterministic fault injector used by the integration
+tests and the fault-tolerance example, plus helpers to audit a recorded
+stream for repair artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .operator_base import Operator
+from .records import Record, RecordType
+from .errors import RiverError
+
+__all__ = ["SegmentCrash", "FaultInjector", "count_bad_closes", "scope_repair_summary"]
+
+
+class SegmentCrash(RiverError):
+    """Raised by :class:`FaultInjector` to simulate a segment dying mid-stream."""
+
+
+class FaultInjector(Operator):
+    """An operator that crashes (raises) after forwarding a fixed number of records.
+
+    Placed inside a pipeline segment, it simulates the segment's host dying
+    mid-scope.  The enclosing :class:`repro.river.pipeline.PipelineSegment`
+    does not catch the exception — the driver (test or deployment) is
+    expected to catch :class:`SegmentCrash` and call ``segment.abort()``,
+    which is exactly what a process supervisor would do.
+    """
+
+    def __init__(self, crash_after: int, name: str = "faultinjector") -> None:
+        super().__init__(name)
+        if crash_after < 0:
+            raise ValueError(f"crash_after must be >= 0, got {crash_after}")
+        self.crash_after = crash_after
+        self.forwarded = 0
+
+    def process(self, record: Record) -> list[Record]:
+        if self.forwarded >= self.crash_after:
+            raise SegmentCrash(
+                f"{self.name} crashed after forwarding {self.forwarded} records"
+            )
+        self.forwarded += 1
+        return [record]
+
+    def reset(self) -> None:
+        super().reset()
+        self.forwarded = 0
+
+
+@dataclass
+class ScopeRepairSummary:
+    """What a stream audit found."""
+
+    records: int = 0
+    open_scopes: int = 0
+    close_scopes: int = 0
+    bad_close_scopes: int = 0
+    end_of_stream: int = 0
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def balanced(self) -> bool:
+        """True when every opened scope was closed (cleanly or not)."""
+        return self.open_scopes == self.close_scopes + self.bad_close_scopes
+
+
+def count_bad_closes(records: list[Record]) -> int:
+    """Number of BadCloseScope records in a recorded stream."""
+    return sum(1 for record in records if record.record_type is RecordType.BAD_CLOSE_SCOPE)
+
+
+def scope_repair_summary(records: list[Record]) -> ScopeRepairSummary:
+    """Audit a recorded stream for scope balance and repair artefacts."""
+    summary = ScopeRepairSummary()
+    for record in records:
+        summary.records += 1
+        if record.record_type is RecordType.OPEN_SCOPE:
+            summary.open_scopes += 1
+        elif record.record_type is RecordType.CLOSE_SCOPE:
+            summary.close_scopes += 1
+        elif record.record_type is RecordType.BAD_CLOSE_SCOPE:
+            summary.bad_close_scopes += 1
+            reason = record.context.get("reason")
+            if reason:
+                summary.reasons.append(str(reason))
+        elif record.record_type is RecordType.END_OF_STREAM:
+            summary.end_of_stream += 1
+    return summary

@@ -1,0 +1,130 @@
+"""Operator base classes.
+
+A Dynamic River *operator* consumes records and emits zero or more records.
+Operators are synchronous and push-based: the enclosing pipeline or segment
+calls :meth:`Operator.process` for every record and :meth:`Operator.flush`
+when the stream ends, and forwards whatever the operator returns downstream.
+Keeping operators free of threads makes the engine deterministic and easy to
+test; concurrency lives at the segment / host level (see
+:mod:`repro.river.placement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .records import Record, RecordType, end_of_stream
+
+__all__ = ["Operator", "SourceOperator", "SinkOperator", "FunctionOperator", "PassThrough"]
+
+
+class Operator:
+    """Base class: a named record transformer with per-operator counters."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or type(self).__name__.lower()
+        self.records_in = 0
+        self.records_out = 0
+
+    # -- interface -----------------------------------------------------------
+
+    def process(self, record: Record) -> list[Record]:
+        """Consume one record and return the records to emit downstream."""
+        raise NotImplementedError
+
+    def flush(self) -> list[Record]:
+        """Emit any buffered records at end of stream (default: nothing)."""
+        return []
+
+    def reset(self) -> None:
+        """Discard internal state so the operator can be reused."""
+        self.records_in = 0
+        self.records_out = 0
+
+    # -- bookkeeping wrapper used by pipelines --------------------------------
+
+    def _invoke(self, record: Record) -> list[Record]:
+        self.records_in += 1
+        outputs = self.process(record)
+        self.records_out += len(outputs)
+        return outputs
+
+    def _invoke_flush(self) -> list[Record]:
+        outputs = self.flush()
+        self.records_out += len(outputs)
+        return outputs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} in={self.records_in} out={self.records_out}>"
+
+
+class SourceOperator(Operator):
+    """An operator that generates records instead of consuming them."""
+
+    def generate(self) -> Iterator[Record]:
+        """Yield the source's records, ending with an END_OF_STREAM marker."""
+        raise NotImplementedError
+
+    def process(self, record: Record) -> list[Record]:
+        raise TypeError(f"source operator {self.name!r} does not accept input records")
+
+
+class SinkOperator(Operator):
+    """An operator that terminates the pipeline and collects results."""
+
+    def __init__(self, name: str | None = None) -> None:
+        super().__init__(name)
+        self.collected: list[Record] = []
+
+    def process(self, record: Record) -> list[Record]:
+        self.collected.append(record)
+        return []
+
+    def reset(self) -> None:
+        super().reset()
+        self.collected = []
+
+
+class FunctionOperator(Operator):
+    """Wrap a plain function ``record -> list[Record]`` as an operator."""
+
+    def __init__(self, fn, name: str | None = None) -> None:
+        super().__init__(name or getattr(fn, "__name__", "function"))
+        self._fn = fn
+
+    def process(self, record: Record) -> list[Record]:
+        return self._fn(record)
+
+
+class PassThrough(Operator):
+    """Forwards every record unchanged (useful as a placeholder in tests)."""
+
+    def process(self, record: Record) -> list[Record]:
+        return [record]
+
+
+@dataclass
+class ListSource(SourceOperator):
+    """A source that replays a fixed list of records (appends end-of-stream)."""
+
+    records: list[Record] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__init__("listsource")
+
+    def generate(self) -> Iterator[Record]:
+        for record in self.records:
+            yield record
+        if not self.records or self.records[-1].record_type is not RecordType.END_OF_STREAM:
+            yield end_of_stream()
+
+
+def ensure_end_of_stream(records: Iterable[Record]) -> Iterator[Record]:
+    """Yield ``records`` and append an END_OF_STREAM marker if missing."""
+    last: Record | None = None
+    for record in records:
+        last = record
+        yield record
+    if last is None or last.record_type is not RecordType.END_OF_STREAM:
+        yield end_of_stream()

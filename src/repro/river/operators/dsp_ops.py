@@ -1,0 +1,208 @@
+"""Spectral-processing operators: reslice, welchwindow, float2cplx, dft, cabs, cutout, paa.
+
+Together these implement the pipeline segment that transforms the amplitude
+data of each ensemble into a frequency-domain representation (paper,
+Section 3): ``reslice`` inserts 50 %-overlapped records, ``welchwindow``
+tapers each record, ``float2cplx`` converts to complex, ``dft`` computes the
+discrete Fourier transform, ``cabs`` reduces to magnitudes, ``cutout``
+retains the [1.2 kHz, 9.6 kHz] band, and ``paa`` optionally reduces each
+record by a factor of 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dsp.dft import complex_magnitude, frequency_band_indices
+from ...dsp.window_functions import get_window
+from ...timeseries.paa import paa_by_factor
+from ..operator_base import Operator
+from ..records import Record, ScopeType, Subtype, data_record
+
+__all__ = [
+    "Reslice",
+    "WelchWindowOperator",
+    "Float2Cplx",
+    "DftOperator",
+    "CabsOperator",
+    "CutoutOperator",
+    "PaaOperator",
+    "Chunker",
+]
+
+
+class Chunker(Operator):
+    """Split large audio records into fixed-size records (per scope).
+
+    The cutter emits one audio record per ensemble; the DFT stage wants
+    fixed-size records, so the chunker re-blocks the stream.  A remainder
+    shorter than the record size is dropped at scope close.
+    """
+
+    def __init__(self, record_size: int, subtype: str = Subtype.AUDIO.value, name: str = "chunker") -> None:
+        super().__init__(name)
+        if record_size < 1:
+            raise ValueError(f"record_size must be >= 1, got {record_size}")
+        self.record_size = record_size
+        self.subtype = subtype
+        self._buffer = np.zeros(0)
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_close or record.is_end or record.is_open:
+            self._buffer = np.zeros(0)
+            return [record]
+        if not (record.is_data and record.subtype == self.subtype):
+            return [record]
+        self._buffer = np.concatenate([self._buffer, np.asarray(record.payload, dtype=float).ravel()])
+        outputs: list[Record] = []
+        index = 0
+        while self._buffer.size >= self.record_size:
+            chunk = self._buffer[: self.record_size]
+            self._buffer = self._buffer[self.record_size :]
+            outputs.append(record.copy(payload=chunk, sequence=record.sequence + index))
+            index += 1
+        return outputs
+
+    def reset(self) -> None:
+        super().reset()
+        self._buffer = np.zeros(0)
+
+
+class Reslice(Operator):
+    """Insert an overlapping record between every pair of consecutive records.
+
+    For records A and B, the inserted record is ``last half of A + first half
+    of B``, which halves the effective hop of the downstream DFT and reduces
+    the chance that a vocalisation straddles a record boundary unseen.  The
+    previous-record buffer resets at every scope boundary.
+    """
+
+    def __init__(self, subtype: str = Subtype.AUDIO.value, name: str = "reslice") -> None:
+        super().__init__(name)
+        self.subtype = subtype
+        self._previous: np.ndarray | None = None
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_open or record.is_close or record.is_end:
+            self._previous = None
+            return [record]
+        if not (record.is_data and record.subtype == self.subtype):
+            return [record]
+        current = np.asarray(record.payload, dtype=float).ravel()
+        outputs: list[Record] = []
+        if self._previous is not None and self._previous.size == current.size and current.size >= 2:
+            half = current.size // 2
+            bridge = np.concatenate([self._previous[half:], current[:half]])
+            outputs.append(record.copy(payload=bridge, context={**record.context, "resliced": True}))
+        outputs.append(record)
+        self._previous = current
+        return outputs
+
+    def reset(self) -> None:
+        super().reset()
+        self._previous = None
+
+
+class WelchWindowOperator(Operator):
+    """Apply a Welch (or other) taper to each audio record."""
+
+    def __init__(self, window: str = "welch", subtype: str = Subtype.AUDIO.value, name: str = "welchwindow") -> None:
+        super().__init__(name)
+        self.window = window
+        self.subtype = subtype
+
+    def process(self, record: Record) -> list[Record]:
+        if not (record.is_data and record.subtype == self.subtype):
+            return [record]
+        samples = np.asarray(record.payload, dtype=float).ravel()
+        if samples.size == 0:
+            return [record]
+        tapered = samples * get_window(self.window, samples.size)
+        return [record.copy(payload=tapered)]
+
+
+class Float2Cplx(Operator):
+    """Convert float audio records to complex records for the DFT."""
+
+    def __init__(self, subtype: str = Subtype.AUDIO.value, name: str = "float2cplx") -> None:
+        super().__init__(name)
+        self.subtype = subtype
+
+    def process(self, record: Record) -> list[Record]:
+        if not (record.is_data and record.subtype == self.subtype):
+            return [record]
+        payload = np.asarray(record.payload, dtype=float).astype(np.complex128)
+        return [record.copy(payload=payload, subtype=Subtype.COMPLEX_SPECTRUM.value)]
+
+
+class DftOperator(Operator):
+    """Discrete Fourier transform of each complex record (non-negative bins)."""
+
+    def __init__(self, name: str = "dft") -> None:
+        super().__init__(name)
+
+    def process(self, record: Record) -> list[Record]:
+        if not (record.is_data and record.subtype == Subtype.COMPLEX_SPECTRUM.value):
+            return [record]
+        payload = np.asarray(record.payload, dtype=np.complex128).ravel()
+        spectrum = np.fft.fft(payload)[: payload.size // 2 + 1]
+        context = {**record.context, "record_size": int(payload.size)}
+        return [record.copy(payload=spectrum, context=context)]
+
+
+class CabsOperator(Operator):
+    """Complex absolute value of each spectrum record (magnitude spectrum)."""
+
+    def __init__(self, name: str = "cabs") -> None:
+        super().__init__(name)
+
+    def process(self, record: Record) -> list[Record]:
+        if not (record.is_data and record.subtype == Subtype.COMPLEX_SPECTRUM.value):
+            return [record]
+        magnitudes = complex_magnitude(np.asarray(record.payload, dtype=np.complex128))
+        return [record.copy(payload=magnitudes, subtype=Subtype.SPECTRUM.value)]
+
+
+class CutoutOperator(Operator):
+    """Keep only the frequency bins inside [low_hz, high_hz]."""
+
+    def __init__(
+        self,
+        sample_rate: int,
+        low_hz: float = 1200.0,
+        high_hz: float = 9600.0,
+        name: str = "cutout",
+    ) -> None:
+        super().__init__(name)
+        if sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+        self.sample_rate = sample_rate
+        self.low_hz = low_hz
+        self.high_hz = high_hz
+
+    def process(self, record: Record) -> list[Record]:
+        if not (record.is_data and record.subtype == Subtype.SPECTRUM.value):
+            return [record]
+        spectrum = np.asarray(record.payload, dtype=float).ravel()
+        record_size = int(record.context.get("record_size", 2 * (spectrum.size - 1)))
+        indices = frequency_band_indices(record_size, self.sample_rate, self.low_hz, self.high_hz)
+        indices = indices[indices < spectrum.size]
+        return [record.copy(payload=spectrum[indices])]
+
+
+class PaaOperator(Operator):
+    """Reduce each spectrum record by an integer PAA factor (paper: 10)."""
+
+    def __init__(self, factor: int = 10, name: str = "paa") -> None:
+        super().__init__(name)
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.factor = factor
+
+    def process(self, record: Record) -> list[Record]:
+        if not (record.is_data and record.subtype == Subtype.SPECTRUM.value):
+            return [record]
+        if self.factor == 1:
+            return [record]
+        reduced = paa_by_factor(np.asarray(record.payload, dtype=float).ravel(), self.factor)
+        return [record.copy(payload=reduced, context={**record.context, "paa_factor": self.factor})]

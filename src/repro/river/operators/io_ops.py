@@ -1,0 +1,195 @@
+"""Source and sink operators: data feeds, wav2rec, readout and rec2vect.
+
+These correspond to the acquisition and storage ends of the paper's
+Figure 5: a data feed reads clips from storage, ``wav2rec`` encapsulates
+acoustic data in pipeline records, ``readout`` archives records, and
+``rec2vect`` turns processed records into the float vectors (patterns) that
+MESO consumes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ...dsp.wav import read_wav
+from ...synth.clips import AcousticClip
+from ..operator_base import Operator, SinkOperator, SourceOperator
+from ..records import (
+    Record,
+    RecordType,
+    ScopeType,
+    Subtype,
+    close_scope,
+    data_record,
+    end_of_stream,
+    open_scope,
+)
+from ..serialization import pack_record
+
+__all__ = ["ClipSource", "WavFileSource", "ReadOut", "Rec2Vect", "VectorSink"]
+
+
+class ClipSource(SourceOperator):
+    """Emit acoustic clips as clip-scoped streams of audio records.
+
+    Each clip becomes ``OpenScope(scope_clip)`` (carrying the sample rate and
+    station id as context), a sequence of fixed-size audio data records, and
+    ``CloseScope(scope_clip)``; the final clip is followed by END_OF_STREAM.
+    """
+
+    def __init__(
+        self,
+        clips: Sequence[AcousticClip],
+        record_size: int = 4096,
+        name: str = "clipsource",
+    ) -> None:
+        super().__init__(name)
+        if record_size < 1:
+            raise ValueError(f"record_size must be >= 1, got {record_size}")
+        self.clips = list(clips)
+        self.record_size = record_size
+
+    def generate(self) -> Iterator[Record]:
+        sequence = 0
+        for clip_index, clip in enumerate(self.clips):
+            context = {
+                "sample_rate": int(clip.sample_rate),
+                "station_id": clip.station_id,
+                "clip_index": clip_index,
+            }
+            yield open_scope(scope=0, scope_type=ScopeType.CLIP.value, sequence=sequence, context=context)
+            sequence += 1
+            samples = np.asarray(clip.samples, dtype=float)
+            for start in range(0, samples.size, self.record_size):
+                chunk = samples[start : start + self.record_size]
+                yield data_record(
+                    chunk,
+                    subtype=Subtype.AUDIO.value,
+                    scope=1,
+                    scope_type=ScopeType.CLIP.value,
+                    sequence=sequence,
+                    context={"offset": start},
+                )
+                sequence += 1
+            yield close_scope(scope=0, scope_type=ScopeType.CLIP.value, sequence=sequence)
+            sequence += 1
+        yield end_of_stream(sequence)
+
+
+class WavFileSource(SourceOperator):
+    """Like :class:`ClipSource` but reading clips from WAV files on disk."""
+
+    def __init__(self, paths: Sequence[str | Path], record_size: int = 4096, name: str = "wav2rec") -> None:
+        super().__init__(name)
+        self.paths = [Path(p) for p in paths]
+        self.record_size = record_size
+
+    def generate(self) -> Iterator[Record]:
+        clips = []
+        for path in self.paths:
+            wav = read_wav(path)
+            samples = wav.samples if wav.samples.ndim == 1 else wav.samples[0]
+            clips.append(
+                AcousticClip(samples=samples, sample_rate=wav.sample_rate, station_id=path.stem)
+            )
+        yield from ClipSource(clips, record_size=self.record_size, name=self.name).generate()
+
+
+class ReadOut(SinkOperator):
+    """Archive every record (optionally to disk in the wire format).
+
+    The paper keeps a copy of the raw data for later study before analysis;
+    ``ReadOut`` is that archival sink.  With a path it appends packed records
+    to a file; it always also keeps the records in memory for inspection.
+    """
+
+    def __init__(self, path: str | Path | None = None, name: str = "readout") -> None:
+        super().__init__(name)
+        self.path = Path(path) if path is not None else None
+        self.bytes_written = 0
+        if self.path is not None:
+            self.path.write_bytes(b"")
+
+    def process(self, record: Record) -> list[Record]:
+        self.collected.append(record)
+        if self.path is not None:
+            blob = pack_record(record)
+            with open(self.path, "ab") as handle:
+                handle.write(blob)
+            self.bytes_written += len(blob)
+        return []
+
+
+class Rec2Vect(Operator):
+    """Merge consecutive spectrum records into fixed-length feature vectors.
+
+    Within each ensemble scope, every ``records_per_pattern`` consecutive
+    spectrum records are concatenated into one FEATURES record (a pattern).
+    Leftover records that cannot fill a complete pattern are dropped, matching
+    the pattern construction of the paper's experiments.
+    """
+
+    def __init__(self, records_per_pattern: int = 3, name: str = "rec2vect") -> None:
+        super().__init__(name)
+        if records_per_pattern < 1:
+            raise ValueError(f"records_per_pattern must be >= 1, got {records_per_pattern}")
+        self.records_per_pattern = records_per_pattern
+        self._buffer: list[np.ndarray] = []
+        self._pattern_index = 0
+
+    def _emit_patterns(self, record: Record) -> list[Record]:
+        outputs: list[Record] = []
+        while len(self._buffer) >= self.records_per_pattern:
+            chunk = self._buffer[: self.records_per_pattern]
+            self._buffer = self._buffer[self.records_per_pattern :]
+            features = np.concatenate(chunk)
+            outputs.append(
+                data_record(
+                    features,
+                    subtype=Subtype.FEATURES.value,
+                    scope=record.scope,
+                    scope_type=record.scope_type,
+                    sequence=self._pattern_index,
+                    context=dict(record.context),
+                )
+            )
+            self._pattern_index += 1
+        return outputs
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_data and record.subtype == Subtype.SPECTRUM.value:
+            self._buffer.append(np.asarray(record.payload, dtype=float).ravel())
+            return self._emit_patterns(record)
+        if record.is_close or record.is_end:
+            # Patterns never straddle an ensemble boundary.
+            self._buffer = []
+        return [record]
+
+    def reset(self) -> None:
+        super().reset()
+        self._buffer = []
+        self._pattern_index = 0
+
+
+class VectorSink(SinkOperator):
+    """Collect FEATURES records as plain numpy vectors (plus their context)."""
+
+    def __init__(self, name: str = "vectorsink") -> None:
+        super().__init__(name)
+        self.vectors: list[np.ndarray] = []
+        self.contexts: list[dict] = []
+
+    def process(self, record: Record) -> list[Record]:
+        self.collected.append(record)
+        if record.is_data and record.subtype == Subtype.FEATURES.value:
+            self.vectors.append(np.asarray(record.payload, dtype=float).ravel())
+            self.contexts.append(dict(record.context))
+        return []
+
+    def reset(self) -> None:
+        super().reset()
+        self.vectors = []
+        self.contexts = []

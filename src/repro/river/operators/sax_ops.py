@@ -1,0 +1,212 @@
+"""The ensemble-extraction operators: saxanomaly, trigger and cutter.
+
+These are the Dynamic River counterparts of :mod:`repro.core`: the same
+algorithms packaged as record operators so they can run inside distributed
+pipeline segments.  ``saxanomaly`` forwards each audio record unchanged and
+emits a parallel record of smoothed anomaly scores; ``trigger`` turns score
+records into 0/1 trigger records; ``cutter`` combines audio and trigger
+records into ensemble scopes containing only the anomalous audio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import AnomalyConfig, TriggerConfig
+from ...core.anomaly import sax_anomaly_scores
+from ...core.trigger import AdaptiveTrigger
+from ..operator_base import Operator
+from ..records import Record, ScopeType, Subtype, close_scope, data_record, open_scope
+
+__all__ = ["SaxAnomalyOperator", "TriggerOperator", "CutterOperator"]
+
+
+class SaxAnomalyOperator(Operator):
+    """Score incoming audio records with the SAX-bitmap anomaly measure.
+
+    For every audio data record the operator emits the original record
+    followed by an ``anomaly_score`` record of equal length.  Scores are
+    computed against a rolling history buffer long enough to hold the lag
+    window, the lead window and the smoothing window, so record boundaries do
+    not perturb the scores; the buffer is cleared at clip boundaries.
+    """
+
+    def __init__(self, config: AnomalyConfig | None = None, hop: int = 16, name: str = "saxanomaly") -> None:
+        super().__init__(name)
+        self.config = config or AnomalyConfig()
+        if hop < 1:
+            raise ValueError(f"hop must be >= 1, got {hop}")
+        self.hop = hop
+        self._history = np.zeros(0)
+        self._history_limit = (
+            self.config.lag_window + self.config.window + self.config.smooth_window
+        )
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_open and record.scope_type == ScopeType.CLIP.value:
+            self._history = np.zeros(0)
+            return [record]
+        if not (record.is_data and record.subtype == Subtype.AUDIO.value):
+            return [record]
+        samples = np.asarray(record.payload, dtype=float).ravel()
+        combined = np.concatenate([self._history, samples])
+        scores = sax_anomaly_scores(combined, self.config, hop=self.hop, smooth=True)
+        tail_scores = scores[-samples.size :] if samples.size else scores[:0]
+        self._history = combined[-self._history_limit :]
+        score_record = data_record(
+            tail_scores,
+            subtype=Subtype.ANOMALY_SCORE.value,
+            scope=record.scope,
+            scope_type=record.scope_type,
+            sequence=record.sequence,
+            context=dict(record.context),
+        )
+        return [record, score_record]
+
+    def reset(self) -> None:
+        super().reset()
+        self._history = np.zeros(0)
+
+
+class TriggerOperator(Operator):
+    """Transform anomaly-score records into 0/1 trigger records."""
+
+    def __init__(
+        self,
+        config: TriggerConfig | None = None,
+        settle: int | None = None,
+        name: str = "trigger",
+    ) -> None:
+        super().__init__(name)
+        self.config = config or TriggerConfig()
+        self.settle = settle
+        self._trigger = AdaptiveTrigger(self.config, settle=settle)
+
+    def process(self, record: Record) -> list[Record]:
+        if not (record.is_data and record.subtype == Subtype.ANOMALY_SCORE.value):
+            return [record]
+        values = self._trigger.apply(np.asarray(record.payload, dtype=float).ravel())
+        trigger_record = data_record(
+            values.astype(np.int8),
+            subtype=Subtype.TRIGGER.value,
+            scope=record.scope,
+            scope_type=record.scope_type,
+            sequence=record.sequence,
+            context=dict(record.context),
+        )
+        return [record, trigger_record]
+
+    def reset(self) -> None:
+        super().reset()
+        self._trigger = AdaptiveTrigger(self.config, settle=self.settle)
+
+
+class CutterOperator(Operator):
+    """Cut trigger-high runs of audio into ensemble scopes.
+
+    The operator consumes interleaved audio and trigger records (as produced
+    by ``saxanomaly`` + ``trigger``), pairs them positionally, and emits an
+    ``OpenScope(scope_ensemble)`` on each 0→1 transition, audio data records
+    while the trigger is high, and a ``CloseScope`` on each 1→0 transition.
+    An ensemble left open when its clip closes is closed before the clip's
+    CloseScope is forwarded, so scopes always nest correctly.
+    """
+
+    def __init__(self, min_duration: int = 1, name: str = "cutter") -> None:
+        super().__init__(name)
+        if min_duration < 1:
+            raise ValueError(f"min_duration must be >= 1, got {min_duration}")
+        self.min_duration = min_duration
+        self._audio: np.ndarray | None = None
+        self._audio_context: dict = {}
+        self._open = False
+        self._ensemble: list[np.ndarray] = []
+        self._ensemble_index = 0
+        self._clip_scope_depth = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _close_ensemble(self, scope_depth: int) -> list[Record]:
+        """Emit the buffered ensemble if it is long enough, else nothing."""
+        if not self._open:
+            return []
+        self._open = False
+        samples = np.concatenate(self._ensemble) if self._ensemble else np.zeros(0)
+        self._ensemble = []
+        if samples.size < self.min_duration:
+            return []
+        outputs = [
+            open_scope(
+                scope=scope_depth,
+                scope_type=ScopeType.ENSEMBLE.value,
+                sequence=self._ensemble_index,
+                context=dict(self._audio_context),
+            ),
+            data_record(
+                samples,
+                subtype=Subtype.AUDIO.value,
+                scope=scope_depth + 1,
+                scope_type=ScopeType.ENSEMBLE.value,
+                sequence=self._ensemble_index,
+                context=dict(self._audio_context),
+            ),
+            close_scope(scope=scope_depth, scope_type=ScopeType.ENSEMBLE.value, sequence=self._ensemble_index),
+        ]
+        self._ensemble_index += 1
+        return outputs
+
+    # -- operator interface ----------------------------------------------------
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_open and record.scope_type == ScopeType.CLIP.value:
+            self._clip_scope_depth = record.scope + 1
+            self._audio = None
+            return [record]
+        if record.is_close and record.scope_type == ScopeType.CLIP.value:
+            outputs = self._close_ensemble(self._clip_scope_depth)
+            outputs.append(record)
+            self._audio = None
+            return outputs
+        if record.is_end:
+            return self._close_ensemble(self._clip_scope_depth) + [record]
+        if not record.is_data:
+            return [record]
+        if record.subtype == Subtype.AUDIO.value:
+            self._audio = np.asarray(record.payload, dtype=float).ravel()
+            self._audio_context = dict(record.context)
+            return []
+        if record.subtype != Subtype.TRIGGER.value or self._audio is None:
+            # Other subtypes (e.g. anomaly scores) are not forwarded: the
+            # cutter's output stream contains ensembles only.
+            return []
+        trigger = np.asarray(record.payload).ravel().astype(bool)
+        audio = self._audio
+        self._audio = None
+        if trigger.size != audio.size:
+            length = min(trigger.size, audio.size)
+            trigger, audio = trigger[:length], audio[:length]
+        outputs: list[Record] = []
+        # Walk the trigger runs inside this record.
+        position = 0
+        while position < trigger.size:
+            value = trigger[position]
+            run_end = position
+            while run_end < trigger.size and trigger[run_end] == value:
+                run_end += 1
+            segment = audio[position:run_end]
+            if value:
+                if not self._open:
+                    self._open = True
+                    self._ensemble = []
+                self._ensemble.append(segment)
+            else:
+                outputs.extend(self._close_ensemble(self._clip_scope_depth))
+            position = run_end
+        return outputs
+
+    def reset(self) -> None:
+        super().reset()
+        self._audio = None
+        self._open = False
+        self._ensemble = []
+        self._ensemble_index = 0

@@ -1,0 +1,187 @@
+"""Stream plumbing operators: streamin, streamout, tee, merge, filter, throttle.
+
+``streamout`` and ``streamin`` are what let pipeline segments span hosts:
+``streamout`` forwards records onto a channel (serialising them on the way)
+and ``streamin`` reads records off a channel, repairing scope structure when
+the upstream side disappears mid-scope by synthesising BadCloseScope
+records — the fault-resilience behaviour the paper calls out as Dynamic
+River's chief advantage.
+"""
+
+from __future__ import annotations
+
+from ..channels import Channel
+from ..errors import ChannelClosed
+from ..operator_base import Operator, SourceOperator
+from ..records import Record, RecordType, end_of_stream
+from ..scopes import ScopeStack
+
+__all__ = ["StreamOut", "StreamIn", "Tee", "SubtypeFilter", "ScopeTypeFilter", "Throttle"]
+
+
+class StreamOut(Operator):
+    """Write every record to a channel while passing it through unchanged.
+
+    Acting as a pass-through makes it possible to splice a ``streamout`` into
+    the middle of a pipeline (e.g. to archive the raw stream while analysis
+    continues downstream), matching the ``readout`` + analysis layout of the
+    paper's Figure 5.
+    """
+
+    def __init__(self, channel: Channel, name: str = "streamout", forward: bool = True) -> None:
+        super().__init__(name)
+        self.channel = channel
+        self.forward = forward
+
+    def process(self, record: Record) -> list[Record]:
+        self.channel.put(record)
+        return [record] if self.forward else []
+
+    def flush(self) -> list[Record]:
+        # The enclosing segment emits END_OF_STREAM itself; mirror it on the
+        # side channel so remote readers also terminate.
+        self.channel.put(end_of_stream())
+        return []
+
+
+class StreamIn(SourceOperator):
+    """Read records from a channel, repairing scope structure on failure.
+
+    If the channel is closed (or a simulated link fails) while scopes are
+    still open, BadCloseScope records are generated to close them, followed
+    by an END_OF_STREAM marker, so downstream operators always observe a
+    well-formed stream.
+    """
+
+    def __init__(self, channel: Channel, name: str = "streamin") -> None:
+        super().__init__(name)
+        self.channel = channel
+        self.scope_stack = ScopeStack(strict=False)
+        self.repaired = False
+
+    def generate(self):
+        while True:
+            try:
+                record = self.channel.get()
+            except ChannelClosed:
+                for closing in self.scope_stack.closing_records("upstream segment terminated"):
+                    self.repaired = True
+                    yield closing
+                yield end_of_stream()
+                return
+            if record is None:
+                # Nothing buffered right now; in this synchronous engine that
+                # means the producer has nothing more to say.
+                for closing in self.scope_stack.closing_records("upstream went quiet"):
+                    self.repaired = True
+                    yield closing
+                yield end_of_stream()
+                return
+            self.scope_stack.observe(record)
+            yield record
+            if record.record_type is RecordType.END_OF_STREAM:
+                return
+
+    def poll(self) -> list[Record]:
+        """Non-blocking read of everything currently available on the channel.
+
+        Used by :class:`repro.river.placement.Deployment`, which interleaves
+        many segments; scope repair on closure behaves as in :meth:`generate`.
+        """
+        records: list[Record] = []
+        while True:
+            try:
+                record = self.channel.get()
+            except ChannelClosed:
+                closing = self.scope_stack.closing_records("upstream segment terminated")
+                if closing:
+                    self.repaired = True
+                records.extend(closing)
+                records.append(end_of_stream())
+                return records
+            if record is None:
+                return records
+            self.scope_stack.observe(record)
+            records.append(record)
+            if record.record_type is RecordType.END_OF_STREAM:
+                return records
+
+
+class Tee(Operator):
+    """Copy every record to a side channel while forwarding it downstream."""
+
+    def __init__(self, channel: Channel, name: str = "tee") -> None:
+        super().__init__(name)
+        self.channel = channel
+
+    def process(self, record: Record) -> list[Record]:
+        self.channel.put(record.copy())
+        return [record]
+
+
+class SubtypeFilter(Operator):
+    """Forward only data records whose subtype is in the allowed set.
+
+    Scope and end-of-stream records always pass through so stream structure
+    is preserved.
+    """
+
+    def __init__(self, subtypes: set[str] | list[str], name: str = "subtypefilter") -> None:
+        super().__init__(name)
+        self.subtypes = set(subtypes)
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_data and record.subtype not in self.subtypes:
+            return []
+        return [record]
+
+
+class ScopeTypeFilter(Operator):
+    """Forward only the scopes of a given type (and everything inside them)."""
+
+    def __init__(self, scope_type: str, name: str = "scopetypefilter") -> None:
+        super().__init__(name)
+        self.scope_type = scope_type
+        self._inside = 0
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_open and record.scope_type == self.scope_type:
+            self._inside += 1
+            return [record]
+        if record.is_close and record.scope_type == self.scope_type and self._inside:
+            self._inside -= 1
+            return [record]
+        if self._inside or record.is_end:
+            return [record]
+        return []
+
+    def reset(self) -> None:
+        super().reset()
+        self._inside = 0
+
+
+class Throttle(Operator):
+    """Emit at most ``limit`` data records, then drop the rest.
+
+    Useful for bounding test and benchmark runs on long streams; scope and
+    end-of-stream records still pass so the stream stays well-formed.
+    """
+
+    def __init__(self, limit: int, name: str = "throttle") -> None:
+        super().__init__(name)
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        self.limit = limit
+        self._seen = 0
+
+    def process(self, record: Record) -> list[Record]:
+        if not record.is_data:
+            return [record]
+        if self._seen >= self.limit:
+            return []
+        self._seen += 1
+        return [record]
+
+    def reset(self) -> None:
+        super().reset()
+        self._seen = 0

@@ -1,0 +1,212 @@
+"""Pipelines and pipeline segments.
+
+A Dynamic River *pipeline* is a sequential set of operations composed between
+a data source and its final sink.  A *pipeline segment* is a sequence of
+operators producing a partial result; segments receive and emit records with
+the ``streamin`` / ``streamout`` operators, which lets a pipeline span
+networked hosts and be recomposed dynamically by moving segments among hosts
+(see :mod:`repro.river.placement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .channels import Channel, QueueChannel
+from .errors import ChannelClosed
+from .operator_base import Operator, SinkOperator, SourceOperator, ensure_end_of_stream
+from .records import Record, RecordType
+from .scopes import ScopeStack
+
+__all__ = ["Pipeline", "PipelineSegment", "SegmentState"]
+
+
+class Pipeline:
+    """An in-process chain of operators."""
+
+    def __init__(self, operators: list[Operator], name: str = "pipeline") -> None:
+        if not operators:
+            raise ValueError("a pipeline needs at least one operator")
+        self.name = name
+        self.operators = list(operators)
+
+    def __len__(self) -> int:
+        return len(self.operators)
+
+    def __iter__(self):
+        return iter(self.operators)
+
+    def operator(self, name: str) -> Operator:
+        """Look up an operator by name."""
+        for op in self.operators:
+            if op.name == name:
+                return op
+        raise KeyError(f"no operator named {name!r} in pipeline {self.name!r}")
+
+    # -- execution -----------------------------------------------------------
+
+    def process_record(self, record: Record) -> list[Record]:
+        """Push one record through every operator in order."""
+        batch = [record]
+        for op in self.operators:
+            next_batch: list[Record] = []
+            for item in batch:
+                next_batch.extend(op._invoke(item))
+            batch = next_batch
+            if not batch:
+                break
+        return batch
+
+    def flush(self) -> list[Record]:
+        """Flush every operator in order, cascading flushed records downstream."""
+        batch: list[Record] = []
+        for index, op in enumerate(self.operators):
+            flushed = op._invoke_flush()
+            combined = batch + flushed
+            batch = []
+            for item in combined:
+                remaining = item
+                outputs = [remaining]
+                for downstream in self.operators[index + 1 :]:
+                    next_outputs: list[Record] = []
+                    for out in outputs:
+                        next_outputs.extend(downstream._invoke(out))
+                    outputs = next_outputs
+                    if not outputs:
+                        break
+                batch.extend(outputs)
+        return batch
+
+    def run(self, records: Iterable[Record]) -> list[Record]:
+        """Run a finite record stream through the pipeline and collect the output.
+
+        An END_OF_STREAM record is appended if the input lacks one; when it is
+        seen, operators are flushed in order and the marker is forwarded last.
+        """
+        outputs: list[Record] = []
+        for record in ensure_end_of_stream(records):
+            if record.record_type is RecordType.END_OF_STREAM:
+                outputs.extend(self.flush())
+                outputs.append(record)
+                break
+            outputs.extend(self.process_record(record))
+        return outputs
+
+    def run_source(self, source: SourceOperator) -> list[Record]:
+        """Run a source operator's records through this pipeline."""
+        return self.run(source.generate())
+
+    def reset(self) -> None:
+        for op in self.operators:
+            op.reset()
+
+
+@dataclass
+class SegmentState:
+    """Lifecycle state of a pipeline segment."""
+
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+    STOPPED = "stopped"
+
+
+@dataclass
+class PipelineSegment:
+    """A pipeline fragment connected to input and output channels.
+
+    The segment pulls records from ``input_channel`` (its ``streamin`` role),
+    pushes results to ``output_channel`` (its ``streamout`` role) and keeps a
+    :class:`ScopeStack` so that, if it is stopped or its upstream dies with
+    scopes open, it can emit BadCloseScope records and leave the downstream
+    stream well-formed.
+    """
+
+    name: str
+    pipeline: Pipeline
+    input_channel: Channel | None = None
+    output_channel: Channel = field(default_factory=QueueChannel)
+    state: str = SegmentState.RUNNING
+    records_processed: int = 0
+    #: Scope state of the segment's *output* stream.
+    scope_stack: ScopeStack = field(default_factory=lambda: ScopeStack(strict=False))
+    #: Simulated seconds of processing consumed (filled in by the host model).
+    processing_seconds: float = 0.0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _emit(self, records: list[Record]) -> None:
+        for record in records:
+            self.scope_stack.observe(record)
+            self.output_channel.put(record)
+
+    def _finish(self) -> None:
+        self._emit(self.pipeline.flush())
+        # Close anything left open before forwarding the end-of-stream marker.
+        self._emit(self.scope_stack.closing_records("segment finished with open scopes"))
+        from .records import end_of_stream
+
+        self.output_channel.put(end_of_stream())
+        self.state = SegmentState.FINISHED
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self, max_records: int = 1) -> int:
+        """Process up to ``max_records`` input records; returns how many were handled."""
+        if self.state != SegmentState.RUNNING:
+            return 0
+        if self.input_channel is None:
+            raise ValueError(f"segment {self.name!r} has no input channel to pull from")
+        handled = 0
+        for _ in range(max_records):
+            try:
+                record = self.input_channel.get()
+            except ChannelClosed:
+                # Upstream died: repair scopes and end our own stream cleanly.
+                self.abort("upstream channel closed")
+                break
+            if record is None:
+                break
+            handled += 1
+            self.records_processed += 1
+            if record.record_type is RecordType.END_OF_STREAM:
+                self._finish()
+                break
+            self._emit(self.pipeline.process_record(record))
+        return handled
+
+    def abort(self, reason: str) -> None:
+        """Terminate the segment, closing open scopes with BadCloseScope records."""
+        if self.state not in (SegmentState.RUNNING, SegmentState.STOPPED):
+            return
+        self._emit(self.scope_stack.closing_records(reason))
+        from .records import end_of_stream
+
+        self.output_channel.put(end_of_stream())
+        self.state = SegmentState.FAILED
+
+    def stop(self) -> None:
+        """Pause the segment (used while it is being relocated to another host)."""
+        if self.state == SegmentState.RUNNING:
+            self.state = SegmentState.STOPPED
+
+    def resume(self) -> None:
+        """Resume a stopped segment."""
+        if self.state == SegmentState.STOPPED:
+            self.state = SegmentState.RUNNING
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (SegmentState.FINISHED, SegmentState.FAILED)
+
+    def drain_output(self) -> Iterator[Record]:
+        """Yield everything currently waiting on the output channel."""
+        while True:
+            try:
+                record = self.output_channel.get()
+            except ChannelClosed:
+                return
+            if record is None:
+                return
+            yield record

@@ -1,0 +1,235 @@
+"""Hosts, deployments, QoS monitoring and dynamic segment relocation.
+
+Dynamic River's distinguishing feature is that pipeline segments can be
+*dynamically relocated* to more suitable hosts to improve quality of
+service.  This module provides:
+
+* :class:`Host` — a simulated processing host with a relative speed factor;
+  stepping a segment on a host accrues simulated processing time.
+* :class:`Deployment` — a set of hosts, the segments placed on them and the
+  channels wiring segments together; :meth:`Deployment.run` steps every
+  running segment round-robin until the whole pipeline drains.
+* :class:`QoSMonitor` — tracks per-segment backlog and processing time and
+  recommends relocations when a host is overloaded.
+* :meth:`Deployment.relocate` — move a segment to another host mid-run
+  (recomposition); scope integrity is preserved by the segments' own
+  scope-repair machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import PlacementError
+from .pipeline import PipelineSegment, SegmentState
+
+__all__ = ["Host", "QoSMonitor", "QoSReport", "Deployment"]
+
+
+@dataclass
+class Host:
+    """A simulated host: a name, a relative speed and an availability flag."""
+
+    name: str
+    #: Records processed per simulated second (relative capacity).
+    speed: float = 1000.0
+    available: bool = True
+    #: Total simulated processing seconds accrued on this host.
+    busy_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"host speed must be positive, got {self.speed}")
+
+    def account(self, records: int) -> float:
+        """Accrue processing time for ``records`` records; returns the cost."""
+        cost = records / self.speed
+        self.busy_seconds += cost
+        return cost
+
+
+@dataclass(frozen=True)
+class QoSReport:
+    """A snapshot of one segment's quality-of-service state."""
+
+    segment: str
+    host: str
+    backlog: int
+    processing_seconds: float
+    state: str
+
+
+@dataclass
+class QoSMonitor:
+    """Collects :class:`QoSReport` snapshots and flags overloaded segments."""
+
+    #: Backlog (queued input records) above which a segment is considered
+    #: overloaded and a relocation is recommended.
+    backlog_threshold: int = 256
+    history: list[QoSReport] = field(default_factory=list)
+
+    def observe(self, deployment: "Deployment") -> list[QoSReport]:
+        """Record a snapshot of every segment in the deployment."""
+        snapshot = []
+        for name, segment in deployment.segments.items():
+            backlog = len(segment.input_channel) if segment.input_channel is not None else 0
+            report = QoSReport(
+                segment=name,
+                host=deployment.placement[name],
+                backlog=backlog,
+                processing_seconds=segment.processing_seconds,
+                state=segment.state,
+            )
+            snapshot.append(report)
+            self.history.append(report)
+        return snapshot
+
+    def overloaded(self, deployment: "Deployment") -> list[str]:
+        """Names of segments whose current backlog exceeds the threshold."""
+        return [
+            report.segment
+            for report in self.observe(deployment)
+            if report.backlog > self.backlog_threshold and report.state == SegmentState.RUNNING
+        ]
+
+    def recommend(self, deployment: "Deployment") -> dict[str, str]:
+        """Recommend a new host for each overloaded segment (fastest idle host)."""
+        recommendations: dict[str, str] = {}
+        for segment_name in self.overloaded(deployment):
+            current = deployment.placement[segment_name]
+            candidates = [
+                host
+                for host in deployment.hosts.values()
+                if host.available and host.name != current
+            ]
+            if not candidates:
+                continue
+            best = max(candidates, key=lambda host: host.speed - host.busy_seconds)
+            if best.speed > deployment.hosts[current].speed:
+                recommendations[segment_name] = best.name
+        return recommendations
+
+
+@dataclass
+class Deployment:
+    """Segments placed on hosts, stepped round-robin until completion."""
+
+    hosts: dict[str, Host] = field(default_factory=dict)
+    segments: dict[str, PipelineSegment] = field(default_factory=dict)
+    #: segment name -> host name
+    placement: dict[str, str] = field(default_factory=dict)
+    #: Number of records a segment may process per scheduling turn when its
+    #: host runs at ``reference_speed``; faster hosts get proportionally more,
+    #: slower hosts proportionally fewer (never less than one).
+    batch_size: int = 64
+    #: Host speed that corresponds to exactly ``batch_size`` records per turn.
+    reference_speed: float = 1000.0
+    #: Log of (event, detail) tuples describing placements and relocations.
+    events: list[tuple[str, str]] = field(default_factory=list)
+
+    # -- construction ----------------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        if host.name in self.hosts:
+            raise PlacementError(f"host {host.name!r} already exists")
+        self.hosts[host.name] = host
+        return host
+
+    def place(self, segment: PipelineSegment, host_name: str) -> None:
+        """Place a segment on a host."""
+        if host_name not in self.hosts:
+            raise PlacementError(f"unknown host {host_name!r}")
+        if not self.hosts[host_name].available:
+            raise PlacementError(f"host {host_name!r} is not available")
+        if segment.name in self.segments:
+            raise PlacementError(f"segment {segment.name!r} is already placed")
+        self.segments[segment.name] = segment
+        self.placement[segment.name] = host_name
+        self.events.append(("place", f"{segment.name} -> {host_name}"))
+
+    # -- recomposition ---------------------------------------------------------
+
+    def relocate(self, segment_name: str, host_name: str) -> None:
+        """Move a segment to another host (dynamic recomposition).
+
+        The segment is paused, its placement updated and then resumed; its
+        channels are untouched, so records buffered in its input channel are
+        processed on the new host and no data is lost.
+        """
+        if segment_name not in self.segments:
+            raise PlacementError(f"unknown segment {segment_name!r}")
+        if host_name not in self.hosts:
+            raise PlacementError(f"unknown host {host_name!r}")
+        if not self.hosts[host_name].available:
+            raise PlacementError(f"host {host_name!r} is not available")
+        segment = self.segments[segment_name]
+        segment.stop()
+        previous = self.placement[segment_name]
+        self.placement[segment_name] = host_name
+        segment.resume()
+        self.events.append(("relocate", f"{segment_name}: {previous} -> {host_name}"))
+
+    def fail_host(self, host_name: str) -> list[str]:
+        """Mark a host as failed; abort its segments and return their names.
+
+        Aborted segments close their open scopes with BadCloseScope records,
+        so downstream segments keep seeing well-formed streams.
+        """
+        if host_name not in self.hosts:
+            raise PlacementError(f"unknown host {host_name!r}")
+        self.hosts[host_name].available = False
+        victims = [name for name, placed in self.placement.items() if placed == host_name]
+        for name in victims:
+            segment = self.segments[name]
+            if not segment.finished:
+                segment.abort(f"host {host_name} failed")
+        self.events.append(("host_failure", host_name))
+        return victims
+
+    # -- execution --------------------------------------------------------------
+
+    def step_all(self) -> int:
+        """Give every running segment one scheduling turn; returns records handled."""
+        handled = 0
+        for name, segment in self.segments.items():
+            if segment.state != SegmentState.RUNNING:
+                continue
+            host = self.hosts[self.placement[name]]
+            if not host.available:
+                continue
+            allowance = max(1, int(round(self.batch_size * host.speed / self.reference_speed)))
+            processed = segment.step(allowance)
+            if processed:
+                segment.processing_seconds += host.account(processed)
+            handled += processed
+        return handled
+
+    def run(
+        self,
+        max_rounds: int = 100_000,
+        monitor: QoSMonitor | None = None,
+        rebalance: bool = False,
+    ) -> int:
+        """Step all segments until no segment makes progress.
+
+        With ``rebalance=True`` and a monitor, relocation recommendations are
+        applied after every round, demonstrating QoS-driven recomposition.
+        Returns the number of scheduling rounds executed.
+        """
+        rounds = 0
+        for rounds in range(1, max_rounds + 1):
+            handled = self.step_all()
+            if monitor is not None:
+                if rebalance:
+                    for segment_name, host_name in monitor.recommend(self).items():
+                        self.relocate(segment_name, host_name)
+                else:
+                    monitor.observe(self)
+            if handled == 0:
+                break
+        return rounds
+
+    @property
+    def finished(self) -> bool:
+        """True when every segment has finished or failed."""
+        return all(segment.finished for segment in self.segments.values())

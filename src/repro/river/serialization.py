@@ -1,0 +1,117 @@
+"""Record wire format.
+
+``streamout`` / ``streamin`` move records between pipeline segments that may
+live on different hosts, so records need a byte-level representation.  The
+format is deliberately simple and self-describing:
+
+``magic (4s) | version (B) | header_len (I) | header JSON | payload bytes``
+
+The header JSON carries every header field plus the payload dtype and shape;
+the payload is the raw little-endian array bytes.  JSON keeps the format
+debuggable; the payload stays binary so audio does not balloon in size.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Iterator
+
+import numpy as np
+
+from .errors import SerializationError
+from .records import Record, RecordType
+
+__all__ = ["pack_record", "unpack_record", "pack_stream", "unpack_stream", "MAGIC", "VERSION"]
+
+MAGIC = b"DRIV"
+VERSION = 1
+
+_PREFIX = struct.Struct("<4sBI")
+
+
+def pack_record(record: Record) -> bytes:
+    """Serialise one record to bytes."""
+    header: dict = {
+        "record_type": record.record_type.value,
+        "subtype": record.subtype,
+        "scope": record.scope,
+        "scope_type": record.scope_type,
+        "sequence": record.sequence,
+        "context": record.context,
+    }
+    if record.payload is not None:
+        payload = np.ascontiguousarray(record.payload)
+        header["dtype"] = payload.dtype.str
+        header["shape"] = list(payload.shape)
+        body = payload.tobytes()
+    else:
+        body = b""
+    try:
+        header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"record context is not JSON-serialisable: {exc}") from exc
+    return _PREFIX.pack(MAGIC, VERSION, len(header_bytes)) + header_bytes + body
+
+
+def unpack_record(blob: bytes) -> tuple[Record, int]:
+    """Deserialise one record from the front of ``blob``.
+
+    Returns the record and the number of bytes consumed, so a buffer holding
+    several packed records can be walked incrementally.
+    """
+    if len(blob) < _PREFIX.size:
+        raise SerializationError("truncated record: missing prefix")
+    magic, version, header_len = _PREFIX.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise SerializationError(f"unsupported wire version {version}")
+    header_start = _PREFIX.size
+    header_end = header_start + header_len
+    if len(blob) < header_end:
+        raise SerializationError("truncated record: missing header")
+    try:
+        header = json.loads(blob[header_start:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt record header: {exc}") from exc
+
+    payload = None
+    consumed = header_end
+    if "dtype" in header:
+        dtype = np.dtype(header["dtype"])
+        shape = tuple(header["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        body_len = count * dtype.itemsize
+        if len(blob) < header_end + body_len:
+            raise SerializationError("truncated record: missing payload")
+        payload = np.frombuffer(blob[header_end : header_end + body_len], dtype=dtype).reshape(shape).copy()
+        consumed = header_end + body_len
+    try:
+        record_type = RecordType(header["record_type"])
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"unknown record type in header: {exc}") from exc
+    record = Record(
+        record_type=record_type,
+        subtype=header.get("subtype", "generic"),
+        scope=int(header.get("scope", 0)),
+        scope_type=header.get("scope_type", "scope_generic"),
+        sequence=int(header.get("sequence", 0)),
+        payload=payload,
+        context=header.get("context", {}),
+    )
+    return record, consumed
+
+
+def pack_stream(records: list[Record]) -> bytes:
+    """Serialise a list of records back to back."""
+    return b"".join(pack_record(record) for record in records)
+
+
+def unpack_stream(blob: bytes) -> Iterator[Record]:
+    """Iterate over the records packed in ``blob``."""
+    offset = 0
+    while offset < len(blob):
+        record, consumed = unpack_record(blob[offset:])
+        yield record
+        offset += consumed

@@ -1,0 +1,17 @@
+"""Simulated acoustic sensor network: stations, wireless links, observatory."""
+
+from .deployment import DeliveryLogEntry, SensorDeployment
+from .observatory import Observatory
+from .station import PowerModel, SensorStation, StationConfig
+from .wireless import TransferResult, WirelessLink
+
+__all__ = [
+    "DeliveryLogEntry",
+    "Observatory",
+    "PowerModel",
+    "SensorDeployment",
+    "SensorStation",
+    "StationConfig",
+    "TransferResult",
+    "WirelessLink",
+]

@@ -1,0 +1,58 @@
+"""The observatory: where clips land and analysis pipelines read from.
+
+The paper motivates observatories such as NEON that store, analyse and
+disseminate environmental data.  :class:`Observatory` is the receiving end
+of the sensor deployment: it stores delivered clips (optionally as WAV files
+on disk), keeps per-station statistics, and can replay its holdings into a
+Dynamic River :class:`~repro.river.operators.io_ops.ClipSource` for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..dsp.wav import write_wav
+from ..synth.clips import AcousticClip
+
+__all__ = ["Observatory"]
+
+
+@dataclass
+class Observatory:
+    """Clip storage plus simple acquisition statistics."""
+
+    name: str = "observatory"
+    storage_dir: Path | None = None
+    clips: list[AcousticClip] = field(default_factory=list)
+    #: station id -> number of clips received.
+    per_station: dict[str, int] = field(default_factory=dict)
+    bytes_stored: int = 0
+
+    def __post_init__(self) -> None:
+        if self.storage_dir is not None:
+            self.storage_dir = Path(self.storage_dir)
+            self.storage_dir.mkdir(parents=True, exist_ok=True)
+
+    def receive(self, clip: AcousticClip) -> None:
+        """Store one delivered clip."""
+        self.clips.append(clip)
+        self.per_station[clip.station_id] = self.per_station.get(clip.station_id, 0) + 1
+        # 16-bit PCM accounting, matching what the stations transmit.
+        self.bytes_stored += clip.samples.size * 2
+        if self.storage_dir is not None:
+            index = len(self.clips) - 1
+            path = self.storage_dir / f"{clip.station_id}-{index:05d}.wav"
+            write_wav(path, clip.samples, clip.sample_rate)
+
+    def __len__(self) -> int:
+        return len(self.clips)
+
+    @property
+    def total_duration(self) -> float:
+        """Total stored audio, in seconds."""
+        return sum(clip.duration for clip in self.clips)
+
+    def clips_from(self, station_id: str) -> list[AcousticClip]:
+        """All clips received from one station."""
+        return [clip for clip in self.clips if clip.station_id == station_id]

@@ -1,0 +1,151 @@
+"""Acoustic sensor stations.
+
+The paper's stations are pole-mounted Crossbow Stargate units with a
+microphone, an 802.11b card, a solar panel and a deep-cycle battery; they
+record ~30-second clips every 30 minutes and transmit them over the wireless
+network.  :class:`SensorStation` reproduces that behaviour against the
+synthetic acoustic substrate: it follows the clip schedule, renders a clip of
+whatever species are active around the station, spends battery energy for
+recording and transmission, and recharges from a simple day/night solar
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..synth.clips import AcousticClip, ClipBuilder
+from ..synth.species import SPECIES_CODES
+
+__all__ = ["StationConfig", "PowerModel", "SensorStation"]
+
+
+@dataclass(frozen=True)
+class StationConfig:
+    """Recording schedule and clip parameters of one station."""
+
+    station_id: str = "station-0"
+    #: Seconds between clip recordings (paper: 30 minutes).
+    clip_interval: float = 1800.0
+    #: Clip duration in seconds (paper: ~30 s).
+    clip_duration: float = 30.0
+    sample_rate: int = 22050
+    #: Species audible at this station and their relative abundance weights.
+    species: tuple[str, ...] = SPECIES_CODES
+    #: Mean number of song renditions per clip (Poisson distributed).
+    songs_per_clip: float = 1.5
+    noise_level: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.clip_interval <= 0:
+            raise ValueError(f"clip_interval must be positive, got {self.clip_interval}")
+        if self.clip_duration <= 0:
+            raise ValueError(f"clip_duration must be positive, got {self.clip_duration}")
+        if self.songs_per_clip < 0:
+            raise ValueError(f"songs_per_clip must be >= 0, got {self.songs_per_clip}")
+        if not self.species:
+            raise ValueError("a station needs at least one audible species")
+
+
+@dataclass
+class PowerModel:
+    """A small battery / solar-panel energy model.
+
+    Energy is tracked in joules.  Recording and transmission draw fixed
+    power; the panel recharges during the daylight half of each simulated
+    day.  The model is intentionally simple — it exists so deployment
+    simulations can exercise duty-cycling and station drop-out, not to model
+    electronics accurately.
+    """
+
+    battery_capacity: float = 360_000.0  # ~100 Wh deep-cycle battery in J
+    battery_level: float = 360_000.0
+    #: Power draw while idle / recording / transmitting, in watts.
+    idle_power: float = 1.5
+    record_power: float = 3.0
+    transmit_power: float = 6.0
+    #: Solar charge power during daylight, in watts.
+    solar_power: float = 10.0
+    #: Seconds in a simulated day.
+    day_length: float = 86_400.0
+
+    def is_daylight(self, now: float) -> bool:
+        """True during the first half of each simulated day."""
+        return (now % self.day_length) < self.day_length / 2.0
+
+    def advance(self, now: float, elapsed: float, recording: float = 0.0, transmitting: float = 0.0) -> None:
+        """Advance the model by ``elapsed`` seconds of mostly-idle operation."""
+        if elapsed < 0 or recording < 0 or transmitting < 0:
+            raise ValueError("durations must be >= 0")
+        idle = max(elapsed - recording - transmitting, 0.0)
+        drain = (
+            idle * self.idle_power
+            + recording * self.record_power
+            + transmitting * self.transmit_power
+        )
+        charge = self.solar_power * elapsed if self.is_daylight(now) else 0.0
+        self.battery_level = min(self.battery_capacity, max(0.0, self.battery_level - drain + charge))
+
+    @property
+    def depleted(self) -> bool:
+        return self.battery_level <= 0.0
+
+    @property
+    def state_of_charge(self) -> float:
+        """Battery level as a fraction of capacity."""
+        return self.battery_level / self.battery_capacity
+
+
+@dataclass
+class SensorStation:
+    """One simulated field station."""
+
+    config: StationConfig = field(default_factory=StationConfig)
+    power: PowerModel = field(default_factory=PowerModel)
+    seed: int = 0
+    #: Simulated time of the next scheduled recording.
+    next_recording: float = 0.0
+    clips_recorded: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+        self._builder = ClipBuilder(
+            sample_rate=self.config.sample_rate,
+            duration=self.config.clip_duration,
+            noise_level=self.config.noise_level,
+        )
+
+    @property
+    def station_id(self) -> str:
+        return self.config.station_id
+
+    def due(self, now: float) -> bool:
+        """True when a recording is due at simulated time ``now``."""
+        return not self.power.depleted and now >= self.next_recording
+
+    def record_clip(self, now: float) -> AcousticClip | None:
+        """Record one clip if the schedule says so (and battery allows)."""
+        if not self.due(now):
+            return None
+        song_count = int(self._rng.poisson(self.config.songs_per_clip))
+        species = list(self._rng.choice(self.config.species, size=song_count)) if song_count else []
+        clip = self._builder.build(
+            species,
+            self._rng,
+            songs_per_species=1,
+            station_id=self.config.station_id,
+        )
+        self.power.advance(
+            now, elapsed=self.config.clip_duration, recording=self.config.clip_duration
+        )
+        self.next_recording = now + self.config.clip_interval
+        self.clips_recorded += 1
+        return clip
+
+    def idle_until(self, now: float, until: float) -> None:
+        """Advance the power model through an idle period [now, until)."""
+        if until < now:
+            raise ValueError("cannot idle backwards in time")
+        self.power.advance(now, elapsed=until - now)

@@ -1,0 +1,91 @@
+"""Wireless link model.
+
+Stations transmit clips over an 802.11b network to a relay and onward to the
+observatory.  :class:`WirelessLink` models the pieces that matter for the
+pipeline: effective bandwidth, per-transfer latency, packet (clip) loss and
+intermittent outages.  All behaviour is deterministic for a given seed and
+no wall-clock sleeping is involved — transfer durations are returned as
+simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TransferResult", "WirelessLink"]
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one clip transfer attempt."""
+
+    delivered: bool
+    simulated_seconds: float
+    bytes_sent: int
+    attempts: int
+
+
+@dataclass
+class WirelessLink:
+    """A lossy, bandwidth-limited point-to-point radio link."""
+
+    #: Effective application-level throughput in bytes per second
+    #: (802.11b peaks at 11 Mb/s; ~5 Mb/s ≈ 600 KB/s is a realistic yield).
+    bandwidth: float = 600_000.0
+    #: Fixed per-transfer overhead in seconds (association, headers).
+    latency: float = 0.05
+    #: Probability that a single transfer attempt fails.
+    loss_rate: float = 0.05
+    #: Maximum retransmission attempts per clip.
+    max_attempts: int = 3
+    #: Fraction of time the link is in outage (evaluated per transfer).
+    outage_rate: float = 0.0
+    seed: int = 0
+    total_bytes: int = 0
+    total_seconds: float = 0.0
+    transfers: int = 0
+    failures: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if not (0.0 <= self.outage_rate < 1.0):
+            raise ValueError(f"outage_rate must be in [0, 1), got {self.outage_rate}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        self._rng = np.random.default_rng(self.seed)
+
+    def transfer(self, num_bytes: int) -> TransferResult:
+        """Attempt to move ``num_bytes`` across the link (with retries)."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        self.transfers += 1
+        elapsed = 0.0
+        attempts = 0
+        if self.outage_rate > 0 and self._rng.random() < self.outage_rate:
+            # Link down for this schedule slot; caller may retry next slot.
+            self.failures += 1
+            return TransferResult(delivered=False, simulated_seconds=self.latency, bytes_sent=0, attempts=0)
+        for attempts in range(1, self.max_attempts + 1):
+            elapsed += self.latency + num_bytes / self.bandwidth
+            if self.loss_rate == 0 or self._rng.random() >= self.loss_rate:
+                self.total_bytes += num_bytes
+                self.total_seconds += elapsed
+                return TransferResult(
+                    delivered=True, simulated_seconds=elapsed, bytes_sent=num_bytes, attempts=attempts
+                )
+        self.failures += 1
+        self.total_seconds += elapsed
+        return TransferResult(delivered=False, simulated_seconds=elapsed, bytes_sent=0, attempts=attempts)
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of transfers that were eventually delivered."""
+        if self.transfers == 0:
+            return 1.0
+        return 1.0 - self.failures / self.transfers

@@ -1,0 +1,43 @@
+"""Synthetic acoustic substrate: bird-song synthesis, noise and clip corpora."""
+
+from .clips import AcousticClip, ClipBuilder, Vocalization
+from .dataset import ClipCorpus, CorpusSpec, build_corpus
+from .noise import hum, mix, pink_noise, white_noise, wind_noise
+from .species import SPECIES, SPECIES_CODES, SpeciesModel, get_species, render_song
+from .syllables import (
+    amplitude_envelope,
+    buzz,
+    chirp,
+    coo,
+    drum,
+    tone,
+    trill,
+    whistle,
+)
+
+__all__ = [
+    "AcousticClip",
+    "ClipBuilder",
+    "ClipCorpus",
+    "CorpusSpec",
+    "SPECIES",
+    "SPECIES_CODES",
+    "SpeciesModel",
+    "Vocalization",
+    "amplitude_envelope",
+    "build_corpus",
+    "buzz",
+    "chirp",
+    "coo",
+    "drum",
+    "get_species",
+    "hum",
+    "mix",
+    "pink_noise",
+    "render_song",
+    "tone",
+    "trill",
+    "whistle",
+    "white_noise",
+    "wind_noise",
+]

@@ -1,0 +1,104 @@
+"""Background noise generators.
+
+The paper notes that clips typically contain sounds other than bird
+vocalisations — wind and human activity — and that the cut-out band discards
+the low frequencies where such noise concentrates.  These generators supply
+white noise, pink (1/f) noise, gusty wind noise and mains-style hum so the
+synthetic clips exercise the same rejection paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["white_noise", "pink_noise", "wind_noise", "hum", "mix"]
+
+
+def white_noise(length: int, rng: np.random.Generator, amplitude: float = 1.0) -> np.ndarray:
+    """Gaussian white noise scaled to roughly +/- ``amplitude``."""
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    return amplitude * 0.33 * rng.standard_normal(length)
+
+
+def pink_noise(length: int, rng: np.random.Generator, amplitude: float = 1.0) -> np.ndarray:
+    """Approximate 1/f noise via spectral shaping of white noise."""
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    if length == 0:
+        return np.zeros(0)
+    spectrum = np.fft.rfft(rng.standard_normal(length))
+    freqs = np.arange(spectrum.size, dtype=float)
+    freqs[0] = 1.0
+    shaped = spectrum / np.sqrt(freqs)
+    noise = np.fft.irfft(shaped, n=length)
+    peak = np.max(np.abs(noise))
+    if peak > 0:
+        noise = noise / peak
+    return amplitude * noise
+
+
+def wind_noise(
+    length: int,
+    sample_rate: float,
+    rng: np.random.Generator,
+    amplitude: float = 1.0,
+    gust_rate_hz: float = 0.2,
+    low_hz: float = 50.0,
+    high_hz: float = 300.0,
+) -> np.ndarray:
+    """Low-frequency, gusty wind noise.
+
+    Pink noise band-limited to roughly [``low_hz``, ``high_hz``] with a slowly
+    varying gust envelope.  The band-pass mirrors what a field microphone
+    actually delivers (AC coupling and the windscreen remove the sub-sonic
+    rumble); the remaining energy sits below the paper's 1.2 kHz cut-off,
+    which is exactly the noise the feature pipeline is designed to reject.
+    """
+    if length == 0:
+        return np.zeros(0)
+    base = pink_noise(length, rng, amplitude=1.0)
+    # Crude band-pass: difference of two moving-average low-passes.
+    width_high = max(1, int(sample_rate / high_hz))
+    width_low = max(width_high + 1, int(sample_rate / low_hz))
+    kernel_high = np.ones(width_high) / width_high
+    kernel_low = np.ones(width_low) / width_low
+    band = np.convolve(base, kernel_high, mode="same") - np.convolve(base, kernel_low, mode="same")
+    t = np.arange(length) / sample_rate
+    gusts = 0.6 + 0.4 * np.abs(np.sin(2.0 * np.pi * gust_rate_hz * t + rng.uniform(0, 2 * np.pi)))
+    noise = band * gusts
+    peak = np.max(np.abs(noise))
+    if peak > 0:
+        noise = noise / peak
+    return amplitude * noise
+
+
+def hum(
+    length: int,
+    sample_rate: float,
+    fundamental_hz: float = 60.0,
+    harmonics: int = 3,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Mains-style hum with a few harmonics (anthropogenic noise)."""
+    if length == 0:
+        return np.zeros(0)
+    t = np.arange(length) / sample_rate
+    wave = np.zeros(length)
+    for h in range(1, harmonics + 1):
+        wave += np.sin(2.0 * np.pi * fundamental_hz * h * t) / h
+    peak = np.max(np.abs(wave))
+    if peak > 0:
+        wave = wave / peak
+    return amplitude * wave
+
+
+def mix(*signals: np.ndarray) -> np.ndarray:
+    """Sum signals of possibly different lengths, padding shorter ones with zeros."""
+    if not signals:
+        return np.zeros(0)
+    length = max(sig.size for sig in signals)
+    total = np.zeros(length)
+    for sig in signals:
+        total[: sig.size] += np.asarray(sig, dtype=float)
+    return total

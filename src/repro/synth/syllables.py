@@ -1,0 +1,218 @@
+"""Syllable synthesisers for the synthetic bird-song substrate.
+
+The paper's evaluation uses field recordings of bird vocalisations, which
+this reproduction does not have.  Bird songs decompose into *syllables* —
+short tonal or noisy elements (whistles, trills, chirps, buzzes, drums) —
+arranged into species-stereotypical sequences.  These functions synthesise
+individual syllables as float waveforms; :mod:`repro.synth.species`
+assembles them into species-specific songs.
+
+All synthesisers return samples in [-1, 1] and accept a ``numpy.random
+.Generator`` so every rendition can be jittered reproducibly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "amplitude_envelope",
+    "tone",
+    "whistle",
+    "chirp",
+    "trill",
+    "buzz",
+    "drum",
+    "coo",
+]
+
+
+def amplitude_envelope(
+    length: int, attack: float = 0.1, release: float = 0.2
+) -> np.ndarray:
+    """Raised-cosine attack / sustain / release envelope.
+
+    ``attack`` and ``release`` are fractions of the syllable length spent
+    ramping up and down; the remainder is held at 1.
+    """
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if not (0.0 <= attack <= 1.0 and 0.0 <= release <= 1.0 and attack + release <= 1.0):
+        raise ValueError("attack and release must be fractions with attack + release <= 1")
+    env = np.ones(length, dtype=float)
+    a = int(round(length * attack))
+    r = int(round(length * release))
+    if a > 0:
+        env[:a] = 0.5 - 0.5 * np.cos(np.pi * np.arange(a) / a)
+    if r > 0:
+        env[length - r :] = 0.5 + 0.5 * np.cos(np.pi * np.arange(r) / r)
+    return env
+
+
+def _fm_waveform(
+    frequencies: np.ndarray,
+    sample_rate: float,
+    harmonics: int = 1,
+    harmonic_decay: float = 0.5,
+) -> np.ndarray:
+    """Integrate an instantaneous-frequency track into a (harmonic) waveform."""
+    phase = 2.0 * np.pi * np.cumsum(frequencies) / sample_rate
+    wave = np.zeros_like(phase)
+    gain = 1.0
+    total = 0.0
+    for h in range(1, harmonics + 1):
+        wave += gain * np.sin(h * phase)
+        total += gain
+        gain *= harmonic_decay
+    return wave / total
+
+
+def tone(
+    duration: float,
+    sample_rate: float,
+    freq_start: float,
+    freq_end: float | None = None,
+    harmonics: int = 1,
+    attack: float = 0.1,
+    release: float = 0.2,
+) -> np.ndarray:
+    """A (possibly swept) tonal syllable.
+
+    ``freq_end`` defaults to ``freq_start`` (constant pitch); otherwise the
+    pitch sweeps linearly between the two.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if sample_rate <= 0:
+        raise ValueError(f"sample_rate must be positive, got {sample_rate}")
+    length = max(1, int(round(duration * sample_rate)))
+    freq_end = freq_start if freq_end is None else freq_end
+    freqs = np.linspace(freq_start, freq_end, length)
+    wave = _fm_waveform(freqs, sample_rate, harmonics=harmonics)
+    return wave * amplitude_envelope(length, attack, release)
+
+
+def whistle(
+    duration: float,
+    sample_rate: float,
+    frequency: float,
+    vibrato_hz: float = 0.0,
+    vibrato_depth: float = 0.0,
+    harmonics: int = 2,
+) -> np.ndarray:
+    """A clear whistle, optionally with slow vibrato."""
+    length = max(1, int(round(duration * sample_rate)))
+    t = np.arange(length) / sample_rate
+    freqs = frequency * np.ones(length)
+    if vibrato_hz > 0 and vibrato_depth > 0:
+        freqs = freqs + vibrato_depth * frequency * np.sin(2.0 * np.pi * vibrato_hz * t)
+    wave = _fm_waveform(freqs, sample_rate, harmonics=harmonics)
+    return wave * amplitude_envelope(length, attack=0.15, release=0.25)
+
+
+def chirp(
+    duration: float,
+    sample_rate: float,
+    freq_start: float,
+    freq_end: float,
+    harmonics: int = 2,
+) -> np.ndarray:
+    """A fast frequency sweep (upslur or downslur)."""
+    return tone(
+        duration,
+        sample_rate,
+        freq_start,
+        freq_end,
+        harmonics=harmonics,
+        attack=0.05,
+        release=0.15,
+    )
+
+
+def trill(
+    duration: float,
+    sample_rate: float,
+    carrier_hz: float,
+    rate_hz: float,
+    depth_hz: float,
+    harmonics: int = 2,
+) -> np.ndarray:
+    """A rapid frequency-modulated trill around ``carrier_hz``."""
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    length = max(1, int(round(duration * sample_rate)))
+    t = np.arange(length) / sample_rate
+    freqs = carrier_hz + depth_hz * np.sin(2.0 * np.pi * rate_hz * t)
+    wave = _fm_waveform(freqs, sample_rate, harmonics=harmonics)
+    # Amplitude also pulses at the trill rate, as in many natural trills.
+    pulse = 0.7 + 0.3 * np.cos(2.0 * np.pi * rate_hz * t)
+    return wave * pulse * amplitude_envelope(length, attack=0.1, release=0.2)
+
+
+def buzz(
+    duration: float,
+    sample_rate: float,
+    center_hz: float,
+    bandwidth_hz: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A noisy, band-limited buzz (e.g. the terminal buzz of a blackbird song)."""
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth_hz must be positive, got {bandwidth_hz}")
+    length = max(1, int(round(duration * sample_rate)))
+    t = np.arange(length) / sample_rate
+    # Modulate low-pass noise onto a carrier: a cheap band-limited noise burst.
+    noise = rng.standard_normal(length)
+    kernel_len = max(1, int(sample_rate / bandwidth_hz))
+    kernel = np.ones(kernel_len) / kernel_len
+    slow = np.convolve(noise, kernel, mode="same")
+    slow = slow / (np.max(np.abs(slow)) + 1e-12)
+    carrier = np.sin(2.0 * np.pi * center_hz * t)
+    return carrier * slow * amplitude_envelope(length, attack=0.05, release=0.1)
+
+
+def drum(
+    duration: float,
+    sample_rate: float,
+    strike_rate_hz: float,
+    rng: np.random.Generator,
+    brightness_hz: float = 2500.0,
+) -> np.ndarray:
+    """A woodpecker-style drum: a rapid series of short broadband strikes."""
+    if strike_rate_hz <= 0:
+        raise ValueError(f"strike_rate_hz must be positive, got {strike_rate_hz}")
+    length = max(1, int(round(duration * sample_rate)))
+    out = np.zeros(length)
+    strike_len = max(2, int(sample_rate / (strike_rate_hz * 4)))
+    period = max(strike_len + 1, int(sample_rate / strike_rate_hz))
+    t_strike = np.arange(strike_len) / sample_rate
+    for start in range(0, length - strike_len, period):
+        decay = np.exp(-t_strike * strike_rate_hz * 4.0)
+        strike = decay * (
+            np.sin(2.0 * np.pi * brightness_hz * t_strike)
+            + 0.5 * rng.standard_normal(strike_len)
+        )
+        out[start : start + strike_len] += strike
+    peak = np.max(np.abs(out))
+    if peak > 0:
+        out = out / peak
+    return out * amplitude_envelope(length, attack=0.02, release=0.1)
+
+
+def coo(
+    duration: float,
+    sample_rate: float,
+    frequency: float = 900.0,
+    harmonics: int = 3,
+) -> np.ndarray:
+    """A soft, low-pitched coo (mourning dove style): slow rise then fall."""
+    length = max(1, int(round(duration * sample_rate)))
+    # Pitch rises slightly then falls, as in the dove's "coo-OO-oo".
+    ramp = np.concatenate(
+        [
+            np.linspace(frequency * 0.9, frequency * 1.1, length // 3),
+            np.linspace(frequency * 1.1, frequency * 0.85, length - length // 3),
+        ]
+    )
+    wave = _fm_waveform(ramp, sample_rate, harmonics=harmonics, harmonic_decay=0.35)
+    return wave * amplitude_envelope(length, attack=0.25, release=0.35)

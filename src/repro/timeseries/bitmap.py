@@ -1,0 +1,119 @@
+"""SAX bitmaps (time-series bitmaps of Kumar et al.).
+
+A SAX bitmap counts the occurrences of symbolic subsequences (n-grams) of a
+fixed level ``n`` within a SAX word, arranged in an ``alphabet**n`` frequency
+table and normalised by the total number of subsequences.  Comparing the
+bitmaps of two adjacent windows with Euclidean distance yields an anomaly
+score; the paper uses this score to detect the onset of bird vocalisations
+and other acoustic events (Section 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["sax_bitmap", "bitmap_distance", "BitmapAccumulator"]
+
+
+def sax_bitmap(symbols: np.ndarray, alphabet: int, level: int = 2) -> np.ndarray:
+    """Build the normalised n-gram frequency matrix of a SAX word.
+
+    Parameters
+    ----------
+    symbols:
+        Integer SAX symbols in ``[0, alphabet)``.
+    alphabet:
+        Alphabet size the symbols were drawn from.
+    level:
+        Subsequence length ``n`` (1, 2 or 3 in Kumar et al.; the anomaly
+        scorer defaults to 2).
+
+    Returns
+    -------
+    numpy.ndarray
+        A flattened array of length ``alphabet ** level`` whose entries sum
+        to 1 (or an all-zero array when the word is shorter than ``level``).
+    """
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    if alphabet < 2:
+        raise ValueError(f"alphabet size must be >= 2, got {alphabet}")
+    word = np.asarray(symbols, dtype=np.int64)
+    if word.size and (word.min() < 0 or word.max() >= alphabet):
+        raise ValueError("symbols out of range for the declared alphabet")
+    counts = np.zeros(alphabet**level, dtype=float)
+    total = word.size - level + 1
+    if total <= 0:
+        return counts
+    # Encode each n-gram as a base-`alphabet` integer index.
+    index = np.zeros(total, dtype=np.int64)
+    for offset in range(level):
+        index = index * alphabet + word[offset : offset + total]
+    np.add.at(counts, index, 1.0)
+    return counts / total
+
+
+def bitmap_distance(bitmap_a: np.ndarray, bitmap_b: np.ndarray) -> float:
+    """Euclidean distance between two normalised bitmaps (the anomaly score)."""
+    a = np.asarray(bitmap_a, dtype=float).ravel()
+    b = np.asarray(bitmap_b, dtype=float).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"bitmaps must have equal shape, got {a.shape} and {b.shape}")
+    return float(np.sqrt(np.sum((a - b) ** 2)))
+
+
+@dataclass
+class BitmapAccumulator:
+    """Incrementally maintained n-gram counts over a sliding symbol window.
+
+    The streaming anomaly scorer keeps two of these (lag and lead windows) and
+    updates them in O(1) per sample instead of recounting the whole window.
+    """
+
+    alphabet: int
+    level: int = 2
+    counts: np.ndarray = field(init=False)
+    total: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise ValueError(f"level must be >= 1, got {self.level}")
+        if self.alphabet < 2:
+            raise ValueError(f"alphabet size must be >= 2, got {self.alphabet}")
+        self.counts = np.zeros(self.alphabet**self.level, dtype=float)
+
+    def _index(self, gram: np.ndarray) -> int:
+        value = 0
+        for symbol in gram:
+            value = value * self.alphabet + int(symbol)
+        return value
+
+    def add(self, gram: np.ndarray) -> None:
+        """Add one n-gram occurrence."""
+        if len(gram) != self.level:
+            raise ValueError(f"expected a {self.level}-gram, got length {len(gram)}")
+        self.counts[self._index(gram)] += 1.0
+        self.total += 1
+
+    def remove(self, gram: np.ndarray) -> None:
+        """Remove one previously added n-gram occurrence."""
+        if len(gram) != self.level:
+            raise ValueError(f"expected a {self.level}-gram, got length {len(gram)}")
+        idx = self._index(gram)
+        if self.counts[idx] <= 0 or self.total <= 0:
+            raise ValueError("attempted to remove an n-gram that was never added")
+        self.counts[idx] -= 1.0
+        self.total -= 1
+
+    def frequencies(self) -> np.ndarray:
+        """Return the normalised frequency matrix (zeros when empty)."""
+        if self.total == 0:
+            return np.zeros_like(self.counts)
+        return self.counts / self.total
+
+    def reset(self) -> None:
+        """Clear all accumulated counts."""
+        self.counts[:] = 0.0
+        self.total = 0

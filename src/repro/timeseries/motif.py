@@ -1,0 +1,123 @@
+"""Motif discovery baseline.
+
+The paper positions ensembles relative to *motifs* — subsequences that occur
+frequently (Lin et al.).  This module implements a projection-free motif
+finder over SAX words: fixed-length subsequences are symbolised, bucketed by
+identical SAX word, and candidate buckets are verified with true Euclidean
+distance.  It exists as a related-work baseline so the benchmarks can show
+why ensemble extraction (single scan, variable-length, streaming) is the
+better fit for continuous sensor streams.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distance import euclidean
+from .normalize import znormalize
+from .sax import sax_transform
+
+__all__ = ["Motif", "find_motifs"]
+
+
+@dataclass(frozen=True)
+class Motif:
+    """A discovered motif.
+
+    Attributes
+    ----------
+    word:
+        The SAX word shared by the motif's occurrences.
+    occurrences:
+        Start indices of the occurrences (non-overlapping).
+    mean_distance:
+        Mean pairwise Euclidean distance between the Z-normalised occurrences
+        (lower means the occurrences resemble each other more closely).
+    """
+
+    word: tuple[int, ...]
+    occurrences: tuple[int, ...]
+    mean_distance: float
+
+    @property
+    def count(self) -> int:
+        return len(self.occurrences)
+
+
+def _non_overlapping(starts: list[int], width: int) -> list[int]:
+    """Greedily keep starts that do not overlap a previously kept one."""
+    kept: list[int] = []
+    for start in sorted(starts):
+        if not kept or start >= kept[-1] + width:
+            kept.append(start)
+    return kept
+
+
+def find_motifs(
+    values: np.ndarray,
+    width: int,
+    segments: int = 8,
+    alphabet: int = 4,
+    min_count: int = 2,
+    top_k: int = 5,
+    step: int = 1,
+) -> list[Motif]:
+    """Find the ``top_k`` most frequent fixed-length motifs in ``values``.
+
+    Parameters
+    ----------
+    values:
+        The time series to scan.
+    width:
+        Subsequence length in samples.
+    segments, alphabet:
+        SAX parameters used for bucketing candidate subsequences.
+    min_count:
+        Minimum number of non-overlapping occurrences for a bucket to count
+        as a motif.
+    top_k:
+        Number of motifs to return, ordered by occurrence count then by
+        tightness (mean pairwise distance).
+    step:
+        Stride between candidate start positions.
+    """
+    arr = np.asarray(values, dtype=float)
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    if arr.size < width:
+        return []
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    segments = min(segments, width)
+
+    buckets: dict[tuple[int, ...], list[int]] = defaultdict(list)
+    for start in range(0, arr.size - width + 1, step):
+        window = arr[start : start + width]
+        if np.std(window) < 1e-12:
+            continue  # flat windows (silence) are not meaningful motifs
+        word = tuple(int(s) for s in sax_transform(window, segments=segments, alphabet=alphabet))
+        buckets[word].append(start)
+
+    motifs: list[Motif] = []
+    for word, starts in buckets.items():
+        distinct = _non_overlapping(starts, width)
+        if len(distinct) < min_count:
+            continue
+        normalized = [znormalize(arr[s : s + width]) for s in distinct]
+        if len(normalized) > 1:
+            total = 0.0
+            pairs = 0
+            for i in range(len(normalized)):
+                for j in range(i + 1, len(normalized)):
+                    total += euclidean(normalized[i], normalized[j])
+                    pairs += 1
+            mean_distance = total / pairs
+        else:
+            mean_distance = 0.0
+        motifs.append(Motif(word=word, occurrences=tuple(distinct), mean_distance=mean_distance))
+
+    motifs.sort(key=lambda m: (-m.count, m.mean_distance))
+    return motifs[:top_k]

@@ -1,0 +1,92 @@
+"""Z-normalisation of time series.
+
+The paper (Section 2) Z-normalises a sequence ``Q`` before PAA/SAX
+conversion::
+
+    q_i = (q_i - mu) / sigma
+
+where ``mu`` is the vector mean of the original signal and ``sigma`` the
+corresponding standard deviation.  Z-normalisation equalises acoustic
+patterns that differ only in signal strength.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["znormalize", "znormalize_safe", "running_mean_std"]
+
+#: Sequences whose standard deviation falls below this value are treated as
+#: constant; normalising them would amplify numerical noise into spurious
+#: structure, so they are mapped to all-zeros instead.
+DEFAULT_EPSILON = 1e-12
+
+
+def znormalize(values: np.ndarray, epsilon: float = DEFAULT_EPSILON) -> np.ndarray:
+    """Return the Z-normalised copy of ``values``.
+
+    Parameters
+    ----------
+    values:
+        One-dimensional array-like of samples.
+    epsilon:
+        Standard deviations smaller than this are treated as zero, and the
+        result is an all-zero vector of the same length (a constant signal
+        carries no shape information).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of the same length with zero mean and unit variance (unless the
+        input was constant).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"znormalize expects a 1-D sequence, got shape {arr.shape}")
+    if arr.size == 0:
+        return arr.copy()
+    mu = arr.mean()
+    sigma = arr.std()
+    # Treat the signal as constant when its spread is negligible either in
+    # absolute terms or relative to its magnitude; dividing by such a sigma
+    # only amplifies floating-point cancellation noise into fake structure.
+    if sigma < epsilon or sigma < 1e-9 * np.max(np.abs(arr)):
+        return np.zeros_like(arr)
+    return (arr - mu) / sigma
+
+
+def znormalize_safe(values: np.ndarray, epsilon: float = DEFAULT_EPSILON) -> np.ndarray:
+    """Z-normalise ``values``, never raising for degenerate input.
+
+    Unlike :func:`znormalize`, empty and multi-dimensional inputs are
+    flattened / passed through rather than rejected.  Intended for streaming
+    operators that must not abort on odd record boundaries.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        return arr
+    return znormalize(arr, epsilon=epsilon)
+
+
+def running_mean_std(
+    previous_count: int,
+    previous_mean: float,
+    previous_m2: float,
+    new_value: float,
+) -> tuple[int, float, float]:
+    """One step of Welford's online mean / variance update.
+
+    Used by the adaptive trigger operator to estimate the baseline anomaly
+    score without storing history.
+
+    Returns
+    -------
+    tuple
+        ``(count, mean, m2)`` after incorporating ``new_value``.  The running
+        variance is ``m2 / count`` (population) once ``count`` > 0.
+    """
+    count = previous_count + 1
+    delta = new_value - previous_mean
+    mean = previous_mean + delta / count
+    m2 = previous_m2 + delta * (new_value - mean)
+    return count, mean, m2

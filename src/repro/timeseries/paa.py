@@ -1,0 +1,117 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+PAA (Keogh et al.; Yi & Faloutsos) reduces the dimensionality of a time
+series by segmenting it into ``w`` equal-sized subsequences and replacing
+each subsequence with its mean.  The paper uses PAA both to smooth
+intra-signal variation in spectrogram columns (Figure 3) and to reduce
+pattern dimensionality by a factor of 10 before classification (Section 3,
+``paa`` operator).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["paa", "paa_by_factor", "inverse_paa", "paa_matrix"]
+
+
+def paa(values: np.ndarray, segments: int) -> np.ndarray:
+    """Reduce ``values`` to ``segments`` mean values.
+
+    When ``len(values)`` is not a multiple of ``segments`` the fractional
+    frame assignment of Keogh et al. is used: each original sample
+    contributes to the segment(s) it overlaps, weighted by the overlap.  This
+    keeps every segment the same (fractional) length, so the PAA of a
+    constant signal is constant and the overall mean is preserved.
+
+    Parameters
+    ----------
+    values:
+        1-D array-like of samples, length ``n``.
+    segments:
+        Number of output segments ``w``; must satisfy ``1 <= w <= n``.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"paa expects a 1-D sequence, got shape {arr.shape}")
+    n = arr.size
+    if segments < 1:
+        raise ValueError(f"segments must be >= 1, got {segments}")
+    if n == 0:
+        raise ValueError("cannot compute PAA of an empty sequence")
+    if segments > n:
+        raise ValueError(f"segments ({segments}) cannot exceed sequence length ({n})")
+    if segments == n:
+        return arr.copy()
+    if n % segments == 0:
+        return arr.reshape(segments, n // segments).mean(axis=1)
+    # Fractional frame assignment: sample j spans [j, j+1) on a length-n axis
+    # rescaled so each output segment spans exactly n/segments input units.
+    output = np.zeros(segments, dtype=float)
+    seg_len = n / segments
+    for seg in range(segments):
+        start = seg * seg_len
+        end = (seg + 1) * seg_len
+        first = int(np.floor(start))
+        last = int(np.ceil(end))
+        total = 0.0
+        for j in range(first, min(last, n)):
+            overlap = min(end, j + 1) - max(start, j)
+            if overlap > 0:
+                total += arr[j] * overlap
+        output[seg] = total / seg_len
+    return output
+
+
+def paa_by_factor(values: np.ndarray, factor: int) -> np.ndarray:
+    """Reduce ``values`` by an integer ``factor`` (the paper reduces by 10).
+
+    The number of output segments is ``ceil(len(values) / factor)`` so that no
+    input sample is dropped.  For inputs shorter than ``factor`` the output is
+    the single overall mean.
+    """
+    arr = np.asarray(values, dtype=float)
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if arr.size == 0:
+        raise ValueError("cannot reduce an empty sequence")
+    segments = max(1, int(np.ceil(arr.size / factor)))
+    return paa(arr, segments)
+
+
+def inverse_paa(reduced: np.ndarray, length: int) -> np.ndarray:
+    """Expand a PAA representation back to ``length`` samples.
+
+    Each segment mean is repeated over the samples it covered.  Used for
+    visual comparison of PAA-smoothed spectrograms against the originals
+    (Figure 3) and in round-trip tests.
+    """
+    arr = np.asarray(reduced, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"inverse_paa expects a 1-D sequence, got shape {arr.shape}")
+    if length < arr.size:
+        raise ValueError(
+            f"target length ({length}) must be >= number of segments ({arr.size})"
+        )
+    if arr.size == 0:
+        return np.zeros(length)
+    indices = np.minimum((np.arange(length) * arr.size) // length, arr.size - 1)
+    return arr[indices]
+
+
+def paa_matrix(matrix: np.ndarray, segments: int, axis: int = 0) -> np.ndarray:
+    """Apply PAA independently along one axis of a 2-D array.
+
+    The paper constructs the PAA spectrogram of Figure 3 by applying PAA to
+    the frequency data of each spectrogram column; that corresponds to
+    ``axis=0`` on a (frequency x time) matrix.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"paa_matrix expects a 2-D array, got shape {arr.shape}")
+    if axis not in (0, 1):
+        raise ValueError(f"axis must be 0 or 1, got {axis}")
+    if axis == 1:
+        return paa_matrix(arr.T, segments, axis=0).T
+    columns = [paa(arr[:, col], segments) for col in range(arr.shape[1])]
+    return np.stack(columns, axis=1)

@@ -1,0 +1,191 @@
+"""Sliding windows, moving averages and streaming statistics.
+
+The extraction pipeline smooths the SAX anomaly score with a moving average
+(paper: window of 2250 samples) and the adaptive trigger maintains running
+estimates of the baseline mean and deviation.  These helpers implement those
+primitives in a streaming-friendly way (O(1) per sample, bounded memory).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "sliding_windows",
+    "moving_average",
+    "MovingAverage",
+    "RunningStats",
+    "SlidingWindow",
+]
+
+
+def sliding_windows(values: np.ndarray, width: int, step: int = 1) -> np.ndarray:
+    """Return a 2-D array of overlapping windows of ``values``.
+
+    Windows that would run past the end of the sequence are not emitted, so
+    the result has ``max(0, (n - width) // step + 1)`` rows.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"sliding_windows expects a 1-D sequence, got shape {arr.shape}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    if arr.size < width:
+        return np.empty((0, width), dtype=float)
+    count = (arr.size - width) // step + 1
+    starts = np.arange(count) * step
+    return np.stack([arr[s : s + width] for s in starts])
+
+
+def moving_average(values: np.ndarray, width: int) -> np.ndarray:
+    """Trailing moving average with a warm-up ramp.
+
+    The i-th output is the mean of the last ``min(i + 1, width)`` samples, so
+    the output has the same length as the input and no look-ahead — matching
+    what a streaming operator can actually compute.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"moving_average expects a 1-D sequence, got shape {arr.shape}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if arr.size == 0:
+        return arr.copy()
+    cumulative = np.cumsum(arr)
+    result = np.empty_like(arr)
+    head = min(width, arr.size)
+    result[:head] = cumulative[:head] / (np.arange(head) + 1)
+    if arr.size > width:
+        result[width:] = (cumulative[width:] - cumulative[:-width]) / width
+    return result
+
+
+@dataclass
+class MovingAverage:
+    """Streaming trailing moving average over a fixed-width window."""
+
+    width: int
+    _window: deque = field(init=False, repr=False)
+    _total: float = field(init=False, default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        self._window = deque(maxlen=self.width)
+
+    def update(self, value: float) -> float:
+        """Push ``value`` and return the current mean."""
+        if len(self._window) == self.width:
+            self._total -= self._window[0]
+        self._window.append(float(value))
+        self._total += float(value)
+        return self._total / len(self._window)
+
+    @property
+    def value(self) -> float:
+        """Current mean (0.0 before any sample has been seen)."""
+        if not self._window:
+            return 0.0
+        return self._total / len(self._window)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._total = 0.0
+
+
+@dataclass
+class RunningStats:
+    """Welford online mean / variance, optionally with exponential forgetting.
+
+    With ``forgetting=None`` this is the exact running mean and (population)
+    standard deviation of everything observed.  With a forgetting factor in
+    (0, 1] the estimate adapts to drift, which mirrors the "incrementally
+    computes an estimate of the mean anomaly score" behaviour of the paper's
+    adaptive trigger.
+    """
+
+    forgetting: float | None = None
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        if self.forgetting is None:
+            self.count += 1
+            delta = value - self.mean
+            self.mean += delta / self.count
+            self._m2 += delta * (value - self.mean)
+        else:
+            alpha = self.forgetting
+            if self.count == 0:
+                self.mean = value
+                self._m2 = 0.0
+            else:
+                delta = value - self.mean
+                self.mean += alpha * delta
+                self._m2 = (1.0 - alpha) * (self._m2 + alpha * delta * delta)
+            self.count += 1
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            return 0.0
+        if self.forgetting is None:
+            return self._m2 / self.count
+        return self._m2
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(max(self.variance, 0.0)))
+
+    def reset(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+
+@dataclass
+class SlidingWindow:
+    """Bounded FIFO of samples exposing the current contents as an array."""
+
+    width: int
+    _window: deque = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+        self._window = deque(maxlen=self.width)
+
+    def push(self, value: float) -> float | None:
+        """Append ``value``; return the evicted sample if the window was full."""
+        evicted = None
+        if len(self._window) == self.width:
+            evicted = self._window[0]
+        self._window.append(float(value))
+        return evicted
+
+    def extend(self, values: np.ndarray) -> None:
+        for value in np.asarray(values, dtype=float).ravel():
+            self.push(value)
+
+    @property
+    def full(self) -> bool:
+        return len(self._window) == self.width
+
+    def values(self) -> np.ndarray:
+        return np.fromiter(self._window, dtype=float, count=len(self._window))
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def reset(self) -> None:
+        self._window.clear()

@@ -1,0 +1,66 @@
+"""Tests for the related-work baselines (energy segmentation and k-NN)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import EnergySegmenter, KnnClassifier
+
+
+class TestEnergySegmenter:
+    def test_detects_loud_burst(self, rng):
+        signal = 0.02 * rng.standard_normal(8000)
+        signal[3000:4000] += np.sin(2 * np.pi * 0.2 * np.arange(1000))
+        segments = EnergySegmenter(window=256, threshold_ratio=4.0, min_duration=200).segment(signal, 8000)
+        assert len(segments) >= 1
+        covered = any(s.start < 3500 < s.end for s in segments)
+        assert covered
+
+    def test_silence_produces_no_segments(self, rng):
+        signal = 0.01 * rng.standard_normal(4000)
+        segments = EnergySegmenter(threshold_ratio=8.0, min_duration=100).segment(signal, 8000)
+        assert segments == []
+
+    def test_energy_shape(self, rng):
+        segmenter = EnergySegmenter(window=128)
+        signal = rng.standard_normal(1000)
+        assert segmenter.energy(signal).size == 1000
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EnergySegmenter(window=0)
+        with pytest.raises(ValueError):
+            EnergySegmenter(threshold_ratio=0)
+
+
+class TestKnnClassifier:
+    def test_exact_match_prediction(self, rng):
+        knn = KnnClassifier(k=1)
+        points = rng.normal(size=(20, 3))
+        labels = [f"c{i % 4}" for i in range(20)]
+        knn.fit(points, labels)
+        for point, label in zip(points, labels):
+            assert knn.predict(point) == label
+
+    def test_k3_majority(self):
+        knn = KnnClassifier(k=3)
+        knn.partial_fit(np.array([0.0]), "a")
+        knn.partial_fit(np.array([0.1]), "a")
+        knn.partial_fit(np.array([0.2]), "b")
+        knn.partial_fit(np.array([10.0]), "b")
+        assert knn.predict(np.array([0.05])) == "a"
+
+    def test_untrained_rejects_queries(self):
+        with pytest.raises(ValueError):
+            KnnClassifier().predict(np.zeros(2))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KnnClassifier(k=0)
+
+    def test_reset(self, rng):
+        knn = KnnClassifier()
+        knn.partial_fit(rng.normal(size=3), "a")
+        knn.reset()
+        assert knn.pattern_count == 0

@@ -1,0 +1,188 @@
+"""Tests for the experiment drivers (tables, figures, reduction, ablations).
+
+These run at the tiny TEST scale; the benchmark harness runs the same code
+at the larger BENCH scale.  What is asserted here is structural correctness
+plus the paper's qualitative claims that survive even a tiny corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE2,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure6,
+    build_reduction,
+    build_table1,
+    build_table3,
+    format_table1,
+    format_table3,
+)
+from repro.experiments.datasets import TEST_SCALE
+from repro.experiments.table2 import build_table2, check_shape, format_table2
+from repro.synth import SPECIES_CODES
+from repro.synth.dataset import CorpusSpec, build_corpus
+from repro.experiments.ablation import evaluate_config, sweep_lag_factor
+from repro.config import FAST_EXTRACTION
+
+
+class TestExperimentData:
+    def test_four_datasets_built(self, experiment_data):
+        assert experiment_data.ensemble_items, "no ensembles extracted at test scale"
+        assert experiment_data.pattern_items
+        assert experiment_data.paa_ensemble_items
+        assert experiment_data.paa_pattern_items
+        # PAA patterns are roughly 10x smaller than raw patterns.
+        raw_dim = experiment_data.pattern_items[0].patterns[0].size
+        paa_dim = experiment_data.paa_pattern_items[0].patterns[0].size
+        assert 8 <= raw_dim / paa_dim <= 10.5
+
+    def test_reduction_in_plausible_band(self, experiment_data):
+        assert 50.0 < experiment_data.reduction_percent < 99.9
+
+    def test_species_counts_structure(self, experiment_data):
+        counts = experiment_data.species_counts()
+        assert set(counts) <= set(SPECIES_CODES)
+        for entry in counts.values():
+            assert entry["patterns"] >= entry["ensembles"] >= 1
+
+    def test_unknown_dataset_name(self, experiment_data):
+        with pytest.raises(KeyError):
+            experiment_data.dataset("Nonexistent")
+
+
+class TestTable1:
+    def test_rows_cover_all_species(self, experiment_data):
+        rows = build_table1(experiment_data)
+        assert len(rows) == 10
+        assert {row.code for row in rows} == set(SPECIES_CODES)
+        rendered = format_table1(rows)
+        assert "TOTAL" in rendered
+        assert "American goldfinch" in rendered
+
+    def test_paper_counts_are_embedded(self, experiment_data):
+        rows = build_table1(experiment_data)
+        by_code = {row.code: row for row in rows}
+        assert by_code["WBNU"].paper_patterns == 676
+        assert by_code["MODO"].paper_ensembles == 24
+
+
+class TestTable2:
+    def test_shape_checks_on_ensemble_datasets(self, experiment_data):
+        rows = build_table2(experiment_data, datasets=("Ensemble", "PAA Ensemble"))
+        assert len(rows) == 4
+        rendered = format_table2(rows)
+        assert "Ensemble" in rendered and "paper" in rendered
+        by_key = {(r.dataset, r.protocol): r for r in rows}
+        # Resubstitution estimates the ceiling, so it must not fall below LOO.
+        for name in ("Ensemble", "PAA Ensemble"):
+            assert (
+                by_key[(name, "Resubstitution")].measured_accuracy
+                >= by_key[(name, "Leave-one-out")].measured_accuracy
+            )
+        # Accuracy must be far above the 10-class chance level.
+        assert by_key[("PAA Ensemble", "Leave-one-out")].measured_accuracy > 30.0
+        # Timing must be captured.
+        assert all(row.training_seconds > 0 for row in rows)
+
+    def test_check_shape_keys(self, experiment_data):
+        rows = build_table2(experiment_data, datasets=("Ensemble", "PAA Ensemble"))
+        checks = check_shape(rows)
+        assert set(checks) == {
+            "resubstitution_above_90",
+            "resubstitution_beats_loo",
+            "paa_beats_raw_on_loo",
+            "ensembles_beat_patterns_on_loo",
+        }
+        assert checks["resubstitution_beats_loo"] is True
+
+    def test_paper_reference_values_present(self):
+        assert PAPER_TABLE2["PAA Ensemble"]["Leave-one-out"] == (82.2, 0.9)
+
+
+class TestTable3:
+    def test_confusion_matrix_structure(self, experiment_data):
+        result = build_table3(experiment_data)
+        labels = set(result.confusion.labels)
+        assert labels <= set(SPECIES_CODES)
+        rows_sum = result.confusion.row_percentages().sum(axis=1)
+        for total in rows_sum:
+            assert total == pytest.approx(100.0) or total == 0.0
+        assert 0.0 <= result.loo_accuracy_percent <= 100.0
+        rendered = format_table3(result)
+        assert "paper diag" in rendered
+
+
+class TestFigures:
+    def test_figure2_series(self):
+        data = build_figure2(seed=3)
+        summary = data.summary()
+        assert summary["amplitude_peak"] == pytest.approx(1.0)
+        assert summary["spectrogram_shape"][0] == 257
+        assert summary["max_frequency_hz"] == pytest.approx(8000.0)
+        assert data.oscillogram.amplitudes.size == data.clip.samples.size
+
+    def test_figure3_paa_spectrogram_similarity(self):
+        data = build_figure3(seed=3, segments=20)
+        summary = data.summary()
+        assert summary["reduced_shape"][0] == 20
+        assert summary["column_correlation"] > 0.5
+        assert summary["reduction_factor"] > 10
+
+    def test_figure4_sax_example(self):
+        data = build_figure4()
+        assert data.paa_values.size == 18
+        assert data.sax_word.size == 18
+        assert data.sax_word.max() < 5
+        assert data.breakpoints.size == 4
+        assert data.symbol_histogram().sum() == 18
+
+    def test_figure6_trigger_and_ensembles(self):
+        data = build_figure6(seed=3)
+        summary = data.summary()
+        assert summary["ensembles"] >= 1
+        assert 0.0 < summary["trigger_high_fraction"] < 0.6
+        assert summary["coverage"] > 0.15
+        assert summary["false_alarm_fraction"] < 0.2
+        assert summary["data_reduction_percent"] > 50.0
+
+
+class TestReduction:
+    def test_reduction_close_to_paper_band(self):
+        corpus = build_corpus(
+            CorpusSpec(species=("NOCA", "TUTI", "RWBL"), clips_per_species=1,
+                       songs_per_clip=2, clip_duration=12.0, sample_rate=16000, seed=11)
+        )
+        comparison = build_reduction(corpus=corpus)
+        summary = comparison.summary()
+        assert summary["paper_reduction_percent"] == 80.6
+        assert 50.0 < summary["measured_reduction_percent"] < 99.9
+        assert comparison.measured.ensembles >= 1
+
+
+class TestAblation:
+    def test_evaluate_config_scores_detection(self):
+        corpus = build_corpus(
+            CorpusSpec(species=("NOCA", "RWBL"), clips_per_species=1, songs_per_clip=2,
+                       clip_duration=10.0, sample_rate=16000, seed=5)
+        )
+        point = evaluate_config(corpus, FAST_EXTRACTION, "window", 100)
+        row = point.as_row()
+        assert 0.0 <= row["coverage"] <= 1.0
+        assert 0.0 <= row["false_alarm_fraction"] <= 1.0
+        assert row["ensembles"] >= 0
+
+    def test_lag_factor_sweep_shows_the_adaptation_matters(self):
+        """The background-referenced score (lag_factor > 1) must recover more of
+        the vocalisations on the synthetic corpus than the equal-window variant."""
+        corpus = build_corpus(
+            CorpusSpec(species=("NOCA", "WBNU", "RWBL"), clips_per_species=1, songs_per_clip=2,
+                       clip_duration=12.0, sample_rate=16000, seed=6)
+        )
+        points = sweep_lag_factor(corpus, factors=(1, 20))
+        by_factor = {point.value: point for point in points}
+        assert by_factor[20].coverage >= by_factor[1].coverage

@@ -1,0 +1,197 @@
+"""Tests for the simulated sensor network (stations, links, observatory, deployment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sensors import (
+    Observatory,
+    PowerModel,
+    SensorDeployment,
+    SensorStation,
+    StationConfig,
+    WirelessLink,
+)
+
+
+class TestPowerModel:
+    def test_idle_discharge_at_night(self):
+        power = PowerModel()
+        start = power.battery_level
+        # Second half of the day is night.
+        power.advance(now=0.75 * power.day_length, elapsed=3600.0)
+        assert power.battery_level < start
+
+    def test_solar_recharges_during_the_day(self):
+        power = PowerModel(battery_level=100_000.0)
+        power.advance(now=1000.0, elapsed=3600.0)
+        assert power.battery_level > 100_000.0
+
+    def test_battery_never_exceeds_capacity_or_goes_negative(self):
+        power = PowerModel(battery_capacity=1000.0, battery_level=990.0)
+        power.advance(now=0.0, elapsed=36_000.0)
+        assert power.battery_level <= 1000.0
+        power = PowerModel(battery_capacity=1000.0, battery_level=5.0, solar_power=0.0)
+        power.advance(now=0.0, elapsed=36_000.0, transmitting=36_000.0)
+        assert power.battery_level == 0.0
+        assert power.depleted
+
+    def test_transmission_costs_more_than_idle(self):
+        idle = PowerModel(solar_power=0.0)
+        busy = PowerModel(solar_power=0.0)
+        idle.advance(now=0.0, elapsed=100.0)
+        busy.advance(now=0.0, elapsed=100.0, transmitting=100.0)
+        assert busy.battery_level < idle.battery_level
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel().advance(now=0.0, elapsed=-1.0)
+
+
+class TestSensorStation:
+    def _station(self, **overrides):
+        fields = dict(
+            station_id="st-1", clip_interval=1800.0, clip_duration=5.0,
+            sample_rate=8000, songs_per_clip=1.0,
+        )
+        fields.update(overrides)
+        return SensorStation(config=StationConfig(**fields), seed=3)
+
+    def test_records_on_schedule(self):
+        station = self._station()
+        clip = station.record_clip(0.0)
+        assert clip is not None
+        assert clip.sample_rate == 8000
+        assert clip.station_id == "st-1"
+        assert station.next_recording == pytest.approx(1800.0)
+        assert station.record_clip(100.0) is None  # not due yet
+        assert station.record_clip(1800.0) is not None
+
+    def test_clip_species_come_from_configured_set(self):
+        station = self._station(species=("NOCA",), songs_per_clip=3.0)
+        clip = station.record_clip(0.0)
+        assert clip.species_present <= {"NOCA"}
+
+    def test_depleted_station_stops_recording(self):
+        station = self._station()
+        station.power.battery_level = 0.0
+        assert not station.due(0.0)
+        assert station.record_clip(0.0) is None
+
+    def test_recording_consumes_energy(self):
+        station = self._station()
+        station.power.solar_power = 0.0
+        before = station.power.battery_level
+        station.record_clip(0.6 * station.power.day_length)  # night-time recording
+        assert station.power.battery_level < before
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            StationConfig(clip_interval=0)
+        with pytest.raises(ValueError):
+            StationConfig(species=())
+
+
+class TestWirelessLink:
+    def test_lossless_link_delivers_everything(self):
+        link = WirelessLink(loss_rate=0.0, seed=1)
+        result = link.transfer(100_000)
+        assert result.delivered
+        assert result.attempts == 1
+        assert result.simulated_seconds > 0
+        assert link.delivery_rate == 1.0
+
+    def test_transfer_time_scales_with_size(self):
+        link = WirelessLink(loss_rate=0.0)
+        small = link.transfer(10_000).simulated_seconds
+        large = link.transfer(1_000_000).simulated_seconds
+        assert large > small
+
+    def test_lossy_link_retries(self):
+        link = WirelessLink(loss_rate=0.6, max_attempts=5, seed=7)
+        results = [link.transfer(1000) for _ in range(50)]
+        attempts = [r.attempts for r in results if r.delivered]
+        assert any(a > 1 for a in attempts)
+        assert 0.5 < link.delivery_rate <= 1.0
+
+    def test_outage_blocks_transfer(self):
+        link = WirelessLink(outage_rate=0.999, seed=5)
+        result = link.transfer(1000)
+        assert not result.delivered
+        assert result.attempts == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            WirelessLink(bandwidth=0)
+        with pytest.raises(ValueError):
+            WirelessLink(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            WirelessLink(max_attempts=0)
+
+
+class TestObservatory:
+    def test_receive_and_query(self, rng, tmp_path):
+        from repro.synth import ClipBuilder
+
+        observatory = Observatory(storage_dir=tmp_path / "clips")
+        builder = ClipBuilder(sample_rate=8000, duration=2.0)
+        observatory.receive(builder.build("NOCA", rng, station_id="a"))
+        observatory.receive(builder.build("MODO", rng, station_id="b"))
+        observatory.receive(builder.build("NOCA", rng, station_id="a"))
+        assert len(observatory) == 3
+        assert observatory.per_station == {"a": 2, "b": 1}
+        assert observatory.total_duration == pytest.approx(6.0)
+        assert len(observatory.clips_from("a")) == 2
+        assert observatory.bytes_stored == 3 * 2 * 8000 * 2
+        assert len(list((tmp_path / "clips").glob("*.wav"))) == 3
+
+
+class TestSensorDeployment:
+    def _deployment(self, stations=3, loss_rate=0.0):
+        deployment = SensorDeployment()
+        for i in range(stations):
+            config = StationConfig(
+                station_id=f"station-{i}", clip_interval=1800.0, clip_duration=2.0,
+                sample_rate=8000, songs_per_clip=1.0,
+            )
+            deployment.add_station(
+                SensorStation(config=config, seed=i),
+                WirelessLink(loss_rate=loss_rate, seed=i),
+            )
+        return deployment
+
+    def test_clips_arrive_on_schedule(self):
+        deployment = self._deployment(stations=2)
+        delivered = deployment.run_for(3 * 1800.0)
+        # Each station records at t=0, 1800, 3600 and 5400 (the end boundary
+        # is inclusive), so 4 recordings per station.
+        assert delivered == 8
+        assert len(deployment.observatory) == 8
+        assert deployment.delivery_rate == 1.0
+        assert deployment.now == pytest.approx(3 * 1800.0)
+
+    def test_lossy_links_reduce_delivery(self):
+        lossless = self._deployment(stations=3, loss_rate=0.0)
+        lossy = self._deployment(stations=3, loss_rate=0.85)
+        lossless.run_for(4 * 1800.0)
+        lossy.run_for(4 * 1800.0)
+        assert len(lossy.observatory) < len(lossless.observatory)
+        assert lossy.delivery_rate < 1.0
+        assert len(lossy.log) == len(lossless.log)  # attempts are still logged
+
+    def test_stepping_backwards_rejected(self):
+        deployment = self._deployment(stations=1)
+        deployment.step(100.0)
+        with pytest.raises(ValueError):
+            deployment.step(50.0)
+
+    def test_delivered_clips_feed_the_pipeline(self):
+        """Observatory clips can be consumed directly by the Dynamic River source."""
+        from repro.river import validate_stream
+        from repro.river.operators import ClipSource
+
+        deployment = self._deployment(stations=1)
+        deployment.run_for(1800.0)
+        records = list(ClipSource(deployment.observatory.clips, record_size=2048).generate())
+        assert validate_stream(records) == []
