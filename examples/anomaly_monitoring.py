@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Generic acoustic-event monitoring with ensembles, motifs and discords.
+"""Generic acoustic-event monitoring over an unbounded chunked stream.
 
 The paper argues the ensemble-extraction process generalises beyond birdsong
 to domains such as security systems and reconnaissance.  This example
@@ -7,7 +7,9 @@ monitors a continuous stream containing rare impulsive events (slamming
 doors / engine passes stand-ins) buried in background noise and compares
 three detectors on the same stream:
 
-* streaming ensemble extraction (the paper's method),
+* streaming ensemble extraction via ``extract_stream()`` — the pipeline
+  consumes the stream chunk by chunk with carry-over state, exactly as an
+  on-station deployment would, and never holds the full signal in memory,
 * a fixed-threshold energy segmenter (the obvious baseline),
 * offline discord discovery (HOT SAX) from related work.
 
@@ -16,15 +18,25 @@ Run with:  python examples/anomaly_monitoring.py
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
-from repro import FAST_EXTRACTION, EnsembleExtractor
+from repro import AcousticPipeline, FAST_EXTRACTION
 from repro.baselines import EnergySegmenter
 from repro.synth import noise as noise_gen
 from repro.timeseries import find_discord, find_motifs
 
 SAMPLE_RATE = 16000
 DURATION = 30.0
+CHUNK = 4096  # samples per stream chunk, ~0.26 s of audio
+
+# FAST_EXTRACTION is tuned for birdsong; impulsive surveillance events are
+# briefer and fainter, so run the trigger slightly more sensitive (4.2
+# baseline deviations instead of the paper's 5).
+MONITORING = replace(
+    FAST_EXTRACTION, trigger=replace(FAST_EXTRACTION.trigger, threshold_sigmas=4.2)
+)
 
 
 def build_stream(rng: np.random.Generator):
@@ -66,12 +78,18 @@ def main() -> None:
     stream, events = build_stream(rng)
     print(f"monitoring stream: {DURATION:.0f}s, {len(events)} planted events\n")
 
-    # 1. Ensemble extraction (single scan, variable-length events).
-    extractor = EnsembleExtractor(FAST_EXTRACTION)
-    result = extractor.extract(stream, SAMPLE_RATE)
-    ensemble_intervals = [(e.start, e.end) for e in result.ensembles]
+    # 1. Streaming ensemble extraction: the pipeline sees 4096-sample chunks,
+    #    one at a time, and emits each ensemble the moment it completes.
+    pipe = AcousticPipeline().extract(MONITORING, keep_traces=False).build()
+    chunks = (stream[i : i + CHUNK] for i in range(0, stream.size, CHUNK))
+    ensemble_intervals = []
+    kept = 0
+    for event in pipe.extract_stream(chunks, sample_rate=SAMPLE_RATE):
+        ensemble = event.ensemble
+        ensemble_intervals.append((ensemble.start, ensemble.end))
+        kept += ensemble.length
 
-    # 2. Fixed-threshold energy segmentation baseline.
+    # 2. Fixed-threshold energy segmentation baseline (needs the whole array).
     segmenter = EnergySegmenter(window=512, threshold_ratio=6.0, min_duration=400)
     energy_intervals = [(s.start, s.end) for s in segmenter.segment(stream, SAMPLE_RATE)]
 
@@ -95,8 +113,9 @@ def main() -> None:
     print(f"motif discovery found {len(motifs)} recurring background patterns "
           f"(most frequent occurs {motifs[0].count} times)" if motifs else "no motifs found")
 
-    print(f"\nensemble extraction kept {1.0 - result.reduction:.1%} of the stream "
-          f"({result.reduction:.1%} reduction) while flagging every planted event")
+    reduction = 1.0 - kept / stream.size
+    print(f"\nstreaming extraction kept {kept / stream.size:.1%} of the stream "
+          f"({reduction:.1%} reduction) without ever holding it in memory")
 
 
 if __name__ == "__main__":

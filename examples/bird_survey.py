@@ -1,10 +1,12 @@
 #!/usr/bin/env python
-"""Automated bird survey: sensor stations -> observatory -> ensembles -> species counts.
+"""Automated bird survey with on-station extraction: stations -> observatory -> species counts.
 
 The scenario from the paper's introduction: unattended acoustic stations at a
 field site record clips on a schedule and ship them over a lossy wireless
-network to an observatory, where an automated pipeline extracts ensembles and
-a MESO memory trained on reference vocalisations produces a species survey.
+network to an observatory.  Each station carries the *same* AcousticPipeline
+the observatory uses, so ensembles are extracted right at the pole and only
+the anomalous audio is transmitted — shrinking wireless traffic and
+transmission energy by the paper's ~80 % reduction.
 
 Run with:  python examples/bird_survey.py
 """
@@ -15,9 +17,8 @@ from collections import Counter
 
 import numpy as np
 
-from repro import FAST_EXTRACTION, EnsembleExtractor, MesoClassifier, PatternExtractor
+from repro import AcousticPipeline, FAST_EXTRACTION, MesoClassifier
 from repro.classify import vote_ensemble
-from repro.core.cutter import Ensemble
 from repro.sensors import SensorDeployment, SensorStation, StationConfig, WirelessLink
 from repro.synth import SPECIES_CODES, get_species
 
@@ -25,30 +26,38 @@ SAMPLE_RATE = 16000
 SURVEY_SPECIES = ("NOCA", "TUTI", "RWBL", "BCCH", "WBNU", "BLJA")
 
 
-def train_reference_memory(rng: np.random.Generator) -> tuple[MesoClassifier, PatternExtractor]:
-    """Train MESO on a handful of reference renditions per species."""
-    patterns = PatternExtractor(config=FAST_EXTRACTION.features, sample_rate=SAMPLE_RATE, use_paa=True)
+def build_pipeline(rng: np.random.Generator):
+    """One pipeline declaration: extraction + features + a trained MESO."""
     meso = MesoClassifier()
+    pipe = (
+        AcousticPipeline()
+        .extract(FAST_EXTRACTION)
+        .features(use_paa=True)
+        .classify(meso)
+        .build()
+    )
     for code in SURVEY_SPECIES:
         for _ in range(4):
             song = get_species(code).render(SAMPLE_RATE, rng)
-            reference = Ensemble(samples=song, start=0, end=song.size,
-                                 sample_rate=SAMPLE_RATE, label=code)
-            for vector in patterns.patterns_from_ensemble(reference):
+            for vector in pipe.patterns_for(song):
                 meso.partial_fit(vector, code)
-    return meso, patterns
+    return pipe
 
 
 def main() -> None:
     rng = np.random.default_rng(2007)
+    pipe = build_pipeline(rng)
 
     # --- field deployment: three stations hearing different species mixes ----
+    # Every station runs extraction on-station (pipeline attached), so the
+    # wireless link only carries ensembles.
     deployment = SensorDeployment()
     station_species = (
         ("meadow", ("RWBL", "NOCA", "TUTI")),
         ("forest-edge", ("BCCH", "TUTI", "BLJA")),
         ("orchard", ("NOCA", "WBNU", "BLJA")),
     )
+    extract_only = AcousticPipeline().extract(FAST_EXTRACTION, keep_traces=False).build()
     for index, (name, species) in enumerate(station_species):
         config = StationConfig(
             station_id=name,
@@ -59,36 +68,33 @@ def main() -> None:
             songs_per_clip=2.0,
         )
         link = WirelessLink(loss_rate=0.1, seed=index)
-        deployment.add_station(SensorStation(config=config, seed=index), link)
+        station = SensorStation(config=config, seed=index, pipeline=extract_only)
+        deployment.add_station(station, link)
 
     deployment.run_for(2.0 * 3600.0)  # a two-hour morning survey
-    observatory = deployment.observatory
-    print(f"observatory received {len(observatory)} clips "
-          f"({observatory.total_duration / 60:.1f} minutes of audio, "
-          f"delivery rate {deployment.delivery_rate:.0%})")
+    recorded = sum(s.samples_recorded for s in deployment.stations)
+    transmitted = sum(s.samples_transmitted for s in deployment.stations)
+    print(f"observatory received {len(deployment.captures)} transmissions "
+          f"(delivery rate {deployment.delivery_rate:.0%})")
+    print(f"on-station extraction sent {transmitted / SAMPLE_RATE / 60:.1f} of "
+          f"{recorded / SAMPLE_RATE / 60:.1f} recorded minutes "
+          f"({1.0 - transmitted / max(recorded, 1):.1%} wireless reduction)\n")
 
-    # --- extraction and identification at the observatory --------------------
-    meso, patterns = train_reference_memory(rng)
-    extractor = EnsembleExtractor(FAST_EXTRACTION)
-
+    # --- identification at the observatory -----------------------------------
+    # Only the transmitted ensembles exist at the observatory; classify each
+    # one in the shared feature space of the survey pipeline.
+    meso = pipe.stage("classify").classifier
     survey: Counter[str] = Counter()
     per_station: dict[str, Counter] = {}
-    total_samples = 0
-    retained_samples = 0
-    for clip in observatory.clips:
-        result = extractor.extract_clip(clip)
-        total_samples += result.total_samples
-        retained_samples += result.retained_samples
-        for ensemble in result.ensembles:
-            vectors = patterns.patterns_from_ensemble(ensemble)
+    for capture in deployment.captures:
+        station_id = capture.clip.station_id
+        for ensemble in capture.result.ensembles:
+            vectors = pipe.patterns_for(ensemble.samples)
             if not vectors:
                 continue
             species = vote_ensemble(meso, vectors)
             survey[species] += 1
-            per_station.setdefault(clip.station_id, Counter())[species] += 1
-
-    reduction = 1.0 - retained_samples / max(total_samples, 1)
-    print(f"ensemble extraction reduced the survey data by {reduction:.1%}\n")
+            per_station.setdefault(station_id, Counter())[species] += 1
 
     print("=== survey: detections per species ===")
     for code in SPECIES_CODES:

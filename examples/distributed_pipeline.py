@@ -1,9 +1,10 @@
 #!/usr/bin/env python
-"""Distributed Dynamic River pipeline: placement, QoS relocation and fault recovery.
+"""Distributed Dynamic River pipeline compiled from one AcousticPipeline.
 
-The extraction pipeline of the paper's Figure 5 is split into three segments
-placed on different (simulated) hosts.  The example demonstrates the two
-behaviours the paper highlights as Dynamic River's advantages:
+The same stage graph used for batch clips and chunked streams is compiled
+with ``to_river()`` into record operators — one per stage — which are placed
+on different (simulated) hosts.  The example demonstrates the two behaviours
+the paper highlights as Dynamic River's advantages:
 
 * **dynamic recomposition** — an overloaded segment is relocated to a faster
   host mid-run, guided by the QoS monitor, without corrupting the stream;
@@ -17,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FAST_EXTRACTION
+from repro import AcousticPipeline, FAST_EXTRACTION, MesoClassifier
+from repro.pipeline import collect_result
 from repro.river import (
     Deployment,
     Host,
@@ -25,35 +27,45 @@ from repro.river import (
     PipelineSegment,
     QoSMonitor,
     QueueChannel,
-    Subtype,
-    build_extraction_pipeline,
     scope_repair_summary,
     validate_stream,
 )
 from repro.river.operators import ClipSource
-from repro.synth import ClipBuilder
+from repro.synth import ClipBuilder, get_species
+
+SAMPLE_RATE = 16000
 
 
 def build_clips(count: int, rng: np.random.Generator):
-    builder = ClipBuilder(sample_rate=16000, duration=10.0)
+    builder = ClipBuilder(sample_rate=SAMPLE_RATE, duration=10.0)
     species = ["NOCA", "RWBL", "TUTI", "BCCH"]
     return [builder.build(species[i % len(species)], rng, songs_per_species=2) for i in range(count)]
 
 
-def split_pipeline():
-    """Split the Figure 5 operator chain into acquisition / spectral / pattern segments."""
-    operators = build_extraction_pipeline(FAST_EXTRACTION, use_paa=True).operators
-    return (
-        Pipeline(operators[:3], name="extract"),     # saxanomaly, trigger, cutter
-        Pipeline(operators[3:9], name="spectral"),   # chunker ... cutout
-        Pipeline(operators[9:], name="patterns"),    # paa, rec2vect
+def build_pipeline(rng: np.random.Generator):
+    """Declare the stage graph once; train MESO on reference songs."""
+    meso = MesoClassifier()
+    pipeline = (
+        AcousticPipeline()
+        .extract(FAST_EXTRACTION)
+        .features(use_paa=True)
+        .classify(meso)
     )
+    trainer = pipeline.build()
+    for code in ("NOCA", "RWBL", "TUTI", "BCCH"):
+        for _ in range(4):
+            song = get_species(code).render(SAMPLE_RATE, rng)
+            for vector in trainer.patterns_for(song):
+                meso.partial_fit(vector, code)
+    return pipeline
 
 
 def run_scenario(fail_relay: bool) -> None:
     rng = np.random.default_rng(11)
     clips = build_clips(4, rng)
-    extract, spectral, pattern = split_pipeline()
+    # to_river() compiles the stage graph into one operator per stage:
+    # extract-stage -> features-stage -> classify-stage.
+    operators = build_pipeline(rng).to_river().operators
 
     deployment = Deployment(batch_size=8)
     deployment.add_host(Host("field-node", speed=300.0))    # slow embedded box
@@ -61,14 +73,21 @@ def run_scenario(fail_relay: bool) -> None:
     deployment.add_host(Host("observatory", speed=4000.0))  # plenty of headroom
 
     source_channel = QueueChannel()
-    seg_extract = PipelineSegment(name="extract", pipeline=extract, input_channel=source_channel)
-    seg_spectral = PipelineSegment(name="spectral", pipeline=spectral,
-                                   input_channel=seg_extract.output_channel)
-    seg_pattern = PipelineSegment(name="patterns", pipeline=pattern,
-                                  input_channel=seg_spectral.output_channel)
+    seg_extract = PipelineSegment(
+        name="extract", pipeline=Pipeline([operators[0]], name="extract"),
+        input_channel=source_channel,
+    )
+    seg_features = PipelineSegment(
+        name="features", pipeline=Pipeline([operators[1]], name="features"),
+        input_channel=seg_extract.output_channel,
+    )
+    seg_classify = PipelineSegment(
+        name="classify", pipeline=Pipeline([operators[2]], name="classify"),
+        input_channel=seg_features.output_channel,
+    )
     deployment.place(seg_extract, "field-node")
-    deployment.place(seg_spectral, "relay")
-    deployment.place(seg_pattern, "observatory")
+    deployment.place(seg_features, "relay")
+    deployment.place(seg_classify, "observatory")
 
     for record in ClipSource(clips, record_size=4096).generate():
         source_channel.put(record)
@@ -88,11 +107,14 @@ def run_scenario(fail_relay: bool) -> None:
             victims = deployment.fail_host("relay")
             print(f"            aborted segments: {victims}")
 
-    outputs = list(seg_pattern.drain_output())
+    outputs = list(seg_classify.drain_output())
     summary = scope_repair_summary(outputs)
-    patterns = [r for r in outputs if r.is_data and r.subtype == Subtype.FEATURES.value]
+    result = collect_result(outputs, sample_rate=SAMPLE_RATE)
+    labelled = [label for label in result.labels if label is not None]
     print(f"  finished in {rounds} scheduling rounds")
-    print(f"  patterns delivered: {len(patterns)}")
+    print(f"  ensembles delivered: {len(result.ensembles)}, classified: {len(labelled)}")
+    if labelled:
+        print(f"  species seen: {sorted(set(labelled))}")
     print(f"  scopes: {summary.open_scopes} opened, {summary.close_scopes} closed cleanly, "
           f"{summary.bad_close_scopes} closed by repair -> balanced={summary.balanced}")
     print(f"  stream validates: {validate_stream(outputs, strict=False) == []}")

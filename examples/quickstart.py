@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Quickstart: extract ensembles from a synthetic acoustic clip and classify them.
+"""Quickstart: one AcousticPipeline from raw clip to species labels.
 
 This is the smallest end-to-end use of the library:
 
 1. synthesise a clip containing bird songs over a realistic noise floor,
-2. run the SAX-anomaly / trigger / cutter chain to extract ensembles,
-3. turn the ensembles into spectro-temporal patterns,
-4. train MESO on a few reference songs and identify the extracted ensembles.
+2. declare the processing chain once — extract (saxanomaly -> trigger ->
+   cutter), features (Welch window -> DFT -> cut-out -> PAA) and MESO
+   classification — with the fluent AcousticPipeline builder,
+3. train MESO on a few reference songs (using the pipeline's own feature
+   stage, so training and querying share one feature space),
+4. run the pipeline over the clip and compare its labels to ground truth.
 
 Run with:  python examples/quickstart.py
 """
@@ -15,15 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    FAST_EXTRACTION,
-    ClipBuilder,
-    EnsembleExtractor,
-    MesoClassifier,
-    PatternExtractor,
-)
-from repro.classify import vote_ensemble
-from repro.core.cutter import Ensemble
+from repro import AcousticPipeline, FAST_EXTRACTION, ClipBuilder, MesoClassifier
 from repro.synth import get_species
 
 
@@ -36,39 +31,40 @@ def main() -> None:
     print(f"clip: {clip.duration:.0f}s, {len(clip.vocalizations)} vocalisations, "
           f"{clip.voiced_fraction():.0%} of samples voiced")
 
-    # 2. Ensemble extraction (the paper's saxanomaly -> trigger -> cutter chain).
-    extractor = EnsembleExtractor(FAST_EXTRACTION)
-    result = extractor.extract_clip(clip)
-    print(f"extracted {len(result.ensembles)} ensembles, "
-          f"data reduction {result.reduction:.1%} (paper reports 80.6%)")
-
-    # 3. Patterns: Welch window -> DFT -> magnitude -> 1.2-6.4 kHz cut-out -> PAA.
-    patterns = PatternExtractor(
-        config=FAST_EXTRACTION.features, sample_rate=clip.sample_rate, use_paa=True
+    # 2. One pipeline declaration covers batch clips, chunked streams and
+    #    Dynamic River (see examples/distributed_pipeline.py for the latter).
+    meso = MesoClassifier()
+    pipe = (
+        AcousticPipeline()
+        .extract(FAST_EXTRACTION)
+        .features(use_paa=True)
+        .classify(meso)
+        .build()
     )
 
-    # 4. Train MESO on labelled reference songs (one rendition per species),
-    #    then identify each extracted ensemble by majority vote of its patterns.
-    meso = MesoClassifier()
+    # 3. Train MESO on labelled reference songs (six renditions per species).
     for code in ("NOCA", "TUTI", "RWBL", "BCCH"):
         for _ in range(6):
             song = get_species(code).render(clip.sample_rate, rng)
-            reference = Ensemble(samples=song, start=0, end=song.size,
-                                 sample_rate=clip.sample_rate, label=code)
-            for vector in patterns.patterns_from_ensemble(reference):
+            for vector in pipe.patterns_for(song):
                 meso.partial_fit(vector, code)
     print(f"MESO memory: {meso.sphere_count} sensitivity spheres, "
           f"{meso.pattern_count} training patterns")
 
-    labelled = result.labelled(clip)
-    for index, ensemble in enumerate(labelled):
-        vectors = patterns.patterns_from_ensemble(ensemble)
-        if not vectors:
-            continue
-        predicted = vote_ensemble(meso, vectors)
-        marker = "ok " if predicted == ensemble.label else "MISS"
-        print(f"  ensemble {index}: {ensemble.duration:.2f}s at t={ensemble.start / clip.sample_rate:6.2f}s"
-              f"  true={ensemble.label}  predicted={predicted}  [{marker}]")
+    # 4. Run the whole chain in one call and inspect the verdicts.
+    result = pipe.run(clip)
+    print(f"extracted {len(result.ensembles)} ensembles, "
+          f"data reduction {result.reduction:.1%} (paper reports 80.6%)")
+    truths = result.ground_truth(clip)
+    for index, (ensemble, predicted, truth) in enumerate(
+        zip(result.ensembles, result.labels, truths)
+    ):
+        if truth is None:
+            continue  # noise event the paper's human listener also rejected
+        marker = "ok " if predicted == truth else "MISS"
+        print(f"  ensemble {index}: {ensemble.duration:.2f}s at "
+              f"t={ensemble.start / clip.sample_rate:6.2f}s"
+              f"  true={truth}  predicted={predicted}  [{marker}]")
 
 
 if __name__ == "__main__":

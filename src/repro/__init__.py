@@ -6,16 +6,21 @@ by Kasten, McKinley and Gage:
 * :mod:`repro.timeseries` — Z-normalisation, PAA, SAX, SAX bitmaps and the
   motif / discord baselines from related work.
 * :mod:`repro.dsp` — windows, DFT, spectrograms, oscillograms and WAV I/O.
-* :mod:`repro.core` — the primary contribution: SAX-bitmap anomaly scoring,
-  the adaptive trigger and the cutter that extracts *ensembles* from
-  continuous acoustic streams.
+* :mod:`repro.core` — the low-level extraction algorithms: SAX-bitmap
+  anomaly scoring, the adaptive trigger and the cutter that extracts
+  *ensembles* from continuous acoustic streams.
+* :mod:`repro.pipeline` — **the primary API**: one composable stage graph
+  (extract → features → classify) built with the fluent
+  :class:`~repro.pipeline.AcousticPipeline` and executed in batch over
+  clips / arrays / WAV files, in streaming over unbounded chunk iterators
+  (``extract_stream``), or distributed via ``to_river()``.
 * :mod:`repro.meso` — the MESO perceptual memory classifier (sensitivity
   spheres, sphere tree, online incremental learning).
 * :mod:`repro.river` — the Dynamic River distributed stream-processing
   engine (records, nested scopes, operators, segments, recomposition and
   fault resilience).
 * :mod:`repro.sensors` — simulated acoustic sensor stations and wireless
-  links.
+  links, including on-station extraction through an attached pipeline.
 * :mod:`repro.synth` — the synthetic bird-song substrate standing in for the
   paper's field recordings.
 * :mod:`repro.classify` — feature construction, ensemble voting and the
@@ -25,14 +30,21 @@ by Kasten, McKinley and Gage:
 Quickstart::
 
     import numpy as np
-    from repro import ClipBuilder, EnsembleExtractor, FAST_EXTRACTION
+    from repro import AcousticPipeline, ClipBuilder, FAST_EXTRACTION
 
     rng = np.random.default_rng(7)
     clip = ClipBuilder(sample_rate=16000, duration=10.0).build("NOCA", rng)
-    result = EnsembleExtractor(FAST_EXTRACTION).extract_clip(clip)
+    pipe = AcousticPipeline().extract(FAST_EXTRACTION).build()
+    result = pipe.run(clip)
     print(f"extracted {len(result.ensembles)} ensembles, "
           f"data reduction {result.reduction:.1%}")
+
+The pre-pipeline entry points ``EnsembleExtractor`` and ``PatternExtractor``
+remain importable from this module but are deprecated; new code should build
+an :class:`~repro.pipeline.AcousticPipeline` instead.
 """
+
+import warnings as _warnings
 
 from .config import (
     FAST_EXTRACTION,
@@ -45,7 +57,6 @@ from .config import (
 from .core import (
     AdaptiveTrigger,
     Ensemble,
-    EnsembleExtractor,
     ExtractionResult,
     ReductionReport,
     SaxAnomalyScorer,
@@ -59,11 +70,21 @@ from .classify import (
     ConfusionMatrix,
     EvaluationItem,
     ExperimentResult,
-    PatternExtractor,
     leave_one_out,
     resubstitution,
 )
 from .meso import MesoClassifier, MesoConfig, SensitivitySphere, SphereTree
+from .pipeline import (
+    AcousticPipeline,
+    BuiltPipeline,
+    ClassifyStage,
+    ExtractStage,
+    FeatureStage,
+    PipelineResult,
+    STAGES,
+    Stage,
+    StageRegistry,
+)
 from .synth import (
     SPECIES,
     SPECIES_CODES,
@@ -76,12 +97,47 @@ from .synth import (
     get_species,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Deprecated top-level names and where the real implementations live.
+_DEPRECATED = {
+    "EnsembleExtractor": (
+        "repro.core.extractor",
+        "build an AcousticPipeline().extract(config) pipeline instead",
+    ),
+    "PatternExtractor": (
+        "repro.classify.features",
+        "add a .features(...) stage to an AcousticPipeline instead",
+    ),
+}
+
+
+def __getattr__(name: str):
+    """Resolve deprecated entry points lazily, with a DeprecationWarning."""
+    if name in _DEPRECATED:
+        module_path, advice = _DEPRECATED[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated; {advice}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_path), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(globals()))
+
 
 __all__ = [
     "AcousticClip",
+    "AcousticPipeline",
     "AdaptiveTrigger",
     "AnomalyConfig",
+    "BuiltPipeline",
+    "ClassifyStage",
     "ClipBuilder",
     "ClipCorpus",
     "ConfusionMatrix",
@@ -90,21 +146,27 @@ __all__ = [
     "EnsembleExtractor",
     "EvaluationItem",
     "ExperimentResult",
+    "ExtractStage",
     "ExtractionConfig",
     "ExtractionResult",
     "FAST_EXTRACTION",
     "FeatureConfig",
+    "FeatureStage",
     "MesoClassifier",
     "MesoConfig",
     "PAPER_EXTRACTION",
     "PatternExtractor",
+    "PipelineResult",
     "ReductionReport",
     "SPECIES",
     "SPECIES_CODES",
+    "STAGES",
     "SaxAnomalyScorer",
     "SensitivitySphere",
     "SphereTree",
     "SpeciesModel",
+    "Stage",
+    "StageRegistry",
     "StreamingCutter",
     "TriggerConfig",
     "build_corpus",

@@ -55,6 +55,12 @@ class ExtractionResult:
         """
         labelled: list[Ensemble] = []
         for ensemble in self.ensembles:
+            if ensemble.length <= 0:
+                # Degenerate ensembles (constructed by hand or by future
+                # cutters) carry no audio to classify; skip them rather than
+                # letting every vocalisation trivially satisfy the
+                # zero-length overlap requirement.
+                continue
             best_species: str | None = None
             best_overlap = 0
             for voc in clip.vocalizations:
@@ -69,7 +75,15 @@ class ExtractionResult:
 
 @dataclass
 class EnsembleExtractor:
-    """Extract ensembles from acoustic signals with one configuration."""
+    """Extract ensembles from acoustic signals with one configuration.
+
+    .. deprecated::
+        New code should build an
+        :class:`~repro.pipeline.AcousticPipeline` instead — it runs the same
+        chain over clips, arrays, WAV files, chunk streams and Dynamic
+        River.  ``AcousticPipeline().extract(config, normalization="global")``
+        reproduces this class bit-for-bit.
+    """
 
     config: ExtractionConfig = field(default_factory=ExtractionConfig)
     #: Evaluate the anomaly score every ``hop`` samples (1 = per sample).  The

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..synth.dataset import ClipCorpus
-from .extractor import EnsembleExtractor, ExtractionResult
 
 __all__ = ["ReductionReport", "measure_reduction"]
 
@@ -49,15 +48,25 @@ class ReductionReport:
 
 
 def measure_reduction(
-    corpus: ClipCorpus, extractor: EnsembleExtractor
-) -> tuple[ReductionReport, list[ExtractionResult]]:
-    """Extract every clip in ``corpus`` and report the aggregate reduction."""
-    results: list[ExtractionResult] = []
+    corpus: ClipCorpus, extractor
+) -> tuple[ReductionReport, list]:
+    """Extract every clip in ``corpus`` and report the aggregate reduction.
+
+    ``extractor`` is either a legacy :class:`EnsembleExtractor` (its
+    ``extract_clip`` is used) or a built
+    :class:`~repro.pipeline.AcousticPipeline` (its ``run`` is used); both
+    result types expose the ``ensembles`` / ``total_samples`` /
+    ``retained_samples`` accounting this report needs.
+    """
+    results: list = []
     total = 0
     retained = 0
     count = 0
+    extract = (
+        extractor.extract_clip if hasattr(extractor, "extract_clip") else extractor.run
+    )
     for clip in corpus.clips:
-        result = extractor.extract_clip(clip)
+        result = extract(clip)
         results.append(result)
         total += result.total_samples
         retained += result.retained_samples

@@ -13,8 +13,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..config import FAST_EXTRACTION, AnomalyConfig, ExtractionConfig, TriggerConfig
-from ..core.extractor import EnsembleExtractor
+from ..config import FAST_EXTRACTION, ExtractionConfig
+from ..pipeline import AcousticPipeline
 from ..synth.dataset import ClipCorpus, CorpusSpec, build_corpus
 
 __all__ = [
@@ -63,7 +63,7 @@ def evaluate_config(
     corpus: ClipCorpus, config: ExtractionConfig, parameter: str, value: float
 ) -> AblationPoint:
     """Extract every clip with ``config`` and score detection quality."""
-    extractor = EnsembleExtractor(config)
+    pipeline = AcousticPipeline().extract(config, normalization="global").build()
     covered = 0
     truth_total = 0
     false_alarm = 0
@@ -72,7 +72,7 @@ def evaluate_config(
     total = 0
     ensembles = 0
     for clip in corpus.clips:
-        result = extractor.extract_clip(clip)
+        result = pipeline.run(clip)
         truth = np.zeros(clip.samples.size, dtype=bool)
         for voc in clip.vocalizations:
             truth[voc.start : voc.end] = True

@@ -30,7 +30,7 @@ from ..classify.crossval import EvaluationItem
 from ..classify.features import PatternExtractor
 from ..config import FAST_EXTRACTION, ExtractionConfig
 from ..core.cutter import Ensemble
-from ..core.extractor import EnsembleExtractor
+from ..pipeline import AcousticPipeline
 from ..synth.dataset import ClipCorpus, CorpusSpec, build_corpus
 
 __all__ = [
@@ -149,12 +149,16 @@ def build_experiment_data(
     if scale.corpus.sample_rate != config.sample_rate:
         config = replace(config, sample_rate=scale.corpus.sample_rate)
     corpus = build_corpus(scale.corpus)
-    extractor = EnsembleExtractor(config, hop=hop)
+    # Global normalisation reproduces the legacy whole-clip batch semantics
+    # exactly, keeping the table values identical across API generations.
+    pipeline = (
+        AcousticPipeline().extract(config, hop=hop, normalization="global").build()
+    )
     ensembles: list[Ensemble] = []
     total = 0
     retained = 0
     for clip, label in zip(corpus.clips, corpus.labels):
-        result = extractor.extract_clip(clip)
+        result = pipeline.run(clip)
         total += result.total_samples
         retained += result.retained_samples
         ensembles.extend(result.labelled(clip))

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import FAST_EXTRACTION, ExtractionConfig
-from ..core.extractor import EnsembleExtractor, ExtractionResult
+from ..pipeline import AcousticPipeline
+from ..pipeline.results import PipelineResult
 from ..synth.clips import AcousticClip
 from .figure2 import reference_clip
 
@@ -25,7 +26,7 @@ class Figure6Data:
     """Trigger signal, extracted ensembles and detection quality measures."""
 
     clip: AcousticClip
-    result: ExtractionResult
+    result: PipelineResult
 
     def _masks(self) -> tuple[np.ndarray, np.ndarray]:
         truth = np.zeros(self.clip.samples.size, dtype=bool)
@@ -69,8 +70,8 @@ def build_figure6(
 ) -> Figure6Data:
     """Run extraction on the reference clip and package the Figure 6 series."""
     clip = clip or reference_clip(seed=seed)
-    result = EnsembleExtractor(config).extract_clip(clip)
-    return Figure6Data(clip=clip, result=result)
+    pipeline = AcousticPipeline().extract(config, normalization="global").build()
+    return Figure6Data(clip=clip, result=pipeline.run(clip))
 
 
 def main() -> None:  # pragma: no cover - thin CLI wrapper

@@ -12,8 +12,8 @@ from dataclasses import dataclass
 
 from ..baselines.threshold import EnergySegmenter
 from ..config import FAST_EXTRACTION, ExtractionConfig
-from ..core.extractor import EnsembleExtractor
 from ..core.reduction import ReductionReport, measure_reduction
+from ..pipeline import AcousticPipeline
 from ..synth.dataset import ClipCorpus, CorpusSpec, build_corpus
 from .paper_values import PAPER_REDUCTION_PERCENT
 
@@ -59,8 +59,8 @@ def build_reduction(
             corpus_spec
             or CorpusSpec(clips_per_species=2, songs_per_clip=2, clip_duration=15.0, sample_rate=16000)
         )
-    extractor = EnsembleExtractor(config)
-    report, _ = measure_reduction(corpus, extractor)
+    pipeline = AcousticPipeline().extract(config, normalization="global").build()
+    report, _ = measure_reduction(corpus, pipeline)
     segmenter = EnergySegmenter(min_duration=config.trigger.min_duration)
     baseline_retained = 0
     for clip in corpus.clips:

@@ -19,7 +19,7 @@ This reimplementation keeps the behaviour the DEPSA paper relies on:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 import numpy as np

@@ -1,0 +1,86 @@
+"""The unified acoustic pipeline: one stage graph, every execution mode.
+
+This package is the single composable API over the paper's processing chain
+(saxanomaly → trigger → cutter → features → MESO).  A pipeline is declared
+once with the fluent :class:`AcousticPipeline` builder and then executed
+
+* **batch** over an :class:`~repro.synth.clips.AcousticClip`, a raw numpy
+  array, a decoded :class:`~repro.dsp.wav.WavClip` or a WAV file path
+  (``BuiltPipeline.run``),
+* **streaming** over an unbounded iterator of chunks with carry-over state
+  across chunk boundaries (``BuiltPipeline.extract_stream``), or
+* **distributed** as Dynamic River record operators compiled from the same
+  stages (``to_river()``).
+
+The streaming engine (:mod:`repro.pipeline.streaming`) is exactly invariant
+to chunking, so all three modes agree on the extracted ensembles, patterns
+and labels.  New stages plug in through the :data:`STAGES` registry.
+
+Quickstart::
+
+    from repro import FAST_EXTRACTION, MesoClassifier
+    from repro.pipeline import AcousticPipeline
+
+    meso = MesoClassifier()                      # train it first
+    pipe = (
+        AcousticPipeline()
+        .extract(FAST_EXTRACTION)
+        .features(use_paa=True)
+        .classify(meso)
+        .build()
+    )
+    result = pipe.run(clip)
+    for ensemble, label in zip(result.ensembles, result.labels):
+        print(f"{ensemble.duration:.2f}s -> {label}")
+"""
+
+from .builder import AcousticPipeline, BuiltPipeline, PipelineBuildError
+from .registry import STAGES, StageRegistry
+from .results import (
+    ClassifiedEvent,
+    EnsembleEvent,
+    FeaturesEvent,
+    PipelineEvent,
+    PipelineResult,
+    SignalChunk,
+)
+from .river_adapter import (
+    EnsembleStageOperator,
+    ExtractStageOperator,
+    collect_result,
+    run_clips_via_river,
+)
+from .stages import (
+    BatchOnlyStageError,
+    ClassifyStage,
+    ExtractStage,
+    FeatureStage,
+    Stage,
+)
+from .streaming import ChunkedAnomalyScorer, ChunkedCutter, RunningNormalizer
+
+__all__ = [
+    "AcousticPipeline",
+    "BatchOnlyStageError",
+    "BuiltPipeline",
+    "ChunkedAnomalyScorer",
+    "ChunkedCutter",
+    "ClassifiedEvent",
+    "ClassifyStage",
+    "EnsembleEvent",
+    "EnsembleStageOperator",
+    "ExtractStage",
+    "ExtractStageOperator",
+    "FeatureStage",
+    "FeaturesEvent",
+    "PipelineBuildError",
+    "PipelineEvent",
+    "PipelineResult",
+    "RunningNormalizer",
+    "STAGES",
+    "SignalChunk",
+    "Stage",
+    "StageRegistry",
+    "collect_result",
+    "run_clips_via_river",
+]

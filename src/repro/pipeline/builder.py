@@ -1,0 +1,332 @@
+"""The fluent :class:`AcousticPipeline` builder and its executable product.
+
+One stage graph, many execution modes::
+
+    pipe = (
+        AcousticPipeline()
+        .extract(FAST_EXTRACTION)
+        .features(use_paa=True)
+        .classify(meso)
+        .build()
+    )
+
+    pipe.run(clip)                      # an AcousticClip
+    pipe.run(samples, sample_rate=16000)  # a raw numpy array
+    pipe.run("dawn_chorus.wav")         # a WAV file path
+    pipe.run(chunks, sample_rate=16000)  # any iterator of chunks
+
+    for event in pipe.extract_stream(chunks, sample_rate=16000):
+        ...                              # incremental, unbounded streams
+
+    river_pipeline = pipe.to_river()     # the same stages as Dynamic River
+                                         # record operators
+
+Batch execution is simply the streaming engine fed a single chunk, and the
+streaming engine is chunk-invariant, so all modes agree on their output.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..config import ExtractionConfig, FeatureConfig
+from ..dsp.wav import WavClip, read_wav
+from ..synth.clips import AcousticClip
+from .registry import STAGES, StageRegistry
+from .results import PipelineEvent, PipelineResult, SignalChunk
+from .stages import ExtractStage, Stage
+
+__all__ = ["AcousticPipeline", "BuiltPipeline", "PipelineBuildError"]
+
+
+class PipelineBuildError(ValueError):
+    """Raised when a pipeline specification cannot be assembled."""
+
+
+class AcousticPipeline:
+    """Fluent builder assembling a stage graph from registered stages."""
+
+    def __init__(self, registry: StageRegistry | None = None) -> None:
+        self.registry = registry or STAGES
+        self._specs: list[tuple[str, dict]] = []
+
+    # -- fluent stage declarations -------------------------------------------
+
+    def extract(
+        self,
+        config: ExtractionConfig | None = None,
+        *,
+        hop: int = 16,
+        normalization: str = "running",
+        keep_traces: bool = True,
+    ) -> "AcousticPipeline":
+        """Add the saxanomaly → trigger → cutter extraction stage."""
+        return self.stage(
+            "extract",
+            config=config,
+            hop=hop,
+            normalization=normalization,
+            keep_traces=keep_traces,
+        )
+
+    def features(
+        self,
+        config: FeatureConfig | None = None,
+        *,
+        use_paa: bool = False,
+        normalize: str = "max",
+        log_compress: bool = True,
+        log_gain: float = 100.0,
+    ) -> "AcousticPipeline":
+        """Add the spectro-temporal feature (pattern) stage."""
+        return self.stage(
+            "features",
+            config=config,
+            use_paa=use_paa,
+            normalize=normalize,
+            log_compress=log_compress,
+            log_gain=log_gain,
+        )
+
+    def classify(self, classifier) -> "AcousticPipeline":
+        """Add per-ensemble majority-vote classification."""
+        return self.stage("classify", classifier=classifier)
+
+    def stage(self, name: str, /, **kwargs) -> "AcousticPipeline":
+        """Append any registered stage by name (the plugin entry point)."""
+        if name not in self.registry:
+            known = ", ".join(self.registry.names()) or "<none>"
+            raise PipelineBuildError(
+                f"no stage registered as {name!r}; known stages: {known}"
+            )
+        self._specs.append((name, dict(kwargs)))
+        return self
+
+    # -- validation and assembly ---------------------------------------------
+
+    @property
+    def specs(self) -> list[tuple[str, dict]]:
+        """The declared (name, kwargs) stage specifications, in order."""
+        return [(name, dict(kwargs)) for name, kwargs in self._specs]
+
+    def _validate(self) -> None:
+        names = [name for name, _ in self._specs]
+        if not names:
+            raise PipelineBuildError(
+                "empty pipeline: declare at least an extract stage"
+            )
+        for builtin in ("extract", "features", "classify"):
+            if names.count(builtin) > 1:
+                raise PipelineBuildError(f"duplicate {builtin!r} stage")
+        if "extract" in names and names.index("extract") != 0:
+            raise PipelineBuildError("the extract stage must come first")
+        if "features" in names and "extract" not in names:
+            raise PipelineBuildError("the features stage needs an extract stage first")
+        if "classify" in names:
+            if "features" not in names:
+                raise PipelineBuildError(
+                    "the classify stage needs a features stage before it"
+                )
+            if names.index("classify") < names.index("features"):
+                raise PipelineBuildError("classify must come after features")
+
+    def instantiate(self, **overrides) -> list[Stage]:
+        """Create fresh stage instances from the declared specs.
+
+        ``overrides`` are merged into the kwargs of every stage whose
+        factory accepts them by name (used by the Dynamic River adapter to
+        disable trace accumulation on unbounded streams); explicitly
+        declared kwargs always win.
+        """
+        self._validate()
+        stages: list[Stage] = []
+        for name, kwargs in self._specs:
+            merged = dict(kwargs)
+            accepted = self._accepted_parameters(self.registry.factory(name))
+            for key, value in overrides.items():
+                if key in merged:
+                    continue
+                if accepted is None or key in accepted:
+                    merged[key] = value
+            stages.append(self.registry.create(name, **merged))
+        return stages
+
+    @staticmethod
+    def _accepted_parameters(factory) -> set[str] | None:
+        """Keyword names ``factory`` accepts; None means "anything" (**kwargs)."""
+        try:
+            parameters = inspect.signature(factory).parameters
+        except (TypeError, ValueError):
+            return None
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+            return None
+        return {
+            name
+            for name, p in parameters.items()
+            if p.kind
+            in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+        }
+
+    def build(self) -> "BuiltPipeline":
+        """Instantiate the stage graph into an executable pipeline."""
+        return BuiltPipeline(self.instantiate(), spec=self)
+
+    def to_river(self, name: str = "acoustic-pipeline"):
+        """Compile the stage graph into a Dynamic River operator pipeline."""
+        from .river_adapter import compile_to_river
+
+        return compile_to_river(self, name=name)
+
+
+class BuiltPipeline:
+    """An executable stage graph (produced by :meth:`AcousticPipeline.build`)."""
+
+    def __init__(self, stages: list[Stage], spec: AcousticPipeline | None = None) -> None:
+        if not stages:
+            raise PipelineBuildError("a built pipeline needs at least one stage")
+        self.stages = list(stages)
+        self.spec = spec
+
+    # -- introspection ---------------------------------------------------------
+
+    def stage(self, name: str) -> Stage:
+        """Look up a stage by its ``name`` attribute."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r} in this pipeline")
+
+    @property
+    def extract_stage(self) -> ExtractStage | None:
+        first = self.stages[0]
+        return first if isinstance(first, ExtractStage) else None
+
+    @property
+    def default_sample_rate(self) -> int:
+        extract = self.extract_stage
+        return extract.config.sample_rate if extract is not None else 22050
+
+    def patterns_for(self, samples: np.ndarray) -> list[np.ndarray]:
+        """Feature patterns for a raw sample array (reference songs etc.).
+
+        Uses the pipeline's feature stage at the pipeline's sample rate, so
+        training patterns and extracted patterns live in the same space.
+        """
+        stage = self.stage("features")
+        if stage.sample_rate is None:
+            stage.start(self.default_sample_rate)
+        return stage.patterns_for(samples)
+
+    def to_river(self, name: str = "acoustic-pipeline"):
+        """Compile this pipeline's stage graph for Dynamic River."""
+        if self.spec is None:
+            raise PipelineBuildError(
+                "this pipeline was built without a spec; use AcousticPipeline.to_river"
+            )
+        return self.spec.to_river(name=name)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, source, sample_rate: int | None = None) -> PipelineResult:
+        """Run the pipeline to completion and collect a :class:`PipelineResult`.
+
+        ``source`` may be an :class:`AcousticClip`, a raw sample array, a WAV
+        file path, a decoded :class:`WavClip` or any iterable of sample
+        chunks.  ``sample_rate`` overrides the rate for arrays and chunk
+        iterables (clips and WAV files carry their own).
+        """
+        chunks, rate = self._coerce_source(source, sample_rate)
+        events = list(self._execute(chunks, rate))
+        extract = self.extract_stage
+        scores, trigger = extract.traces() if extract is not None else (None, None)
+        total = extract.samples_seen if extract is not None else 0
+        return PipelineResult.from_events(
+            events,
+            sample_rate=rate,
+            total_samples=total,
+            anomaly_scores=scores,
+            trigger=trigger,
+        )
+
+    def extract_stream(
+        self, chunks: Iterable[np.ndarray], sample_rate: int | None = None
+    ) -> Iterator[PipelineEvent]:
+        """Process an (unbounded) chunk stream, yielding events as they complete.
+
+        Stage state carries over across chunk boundaries, so an ensemble
+        spanning several chunks is stitched together exactly as if the
+        signal had been processed in one piece.  The stream is flushed when
+        the iterator is exhausted.
+
+        For genuinely unbounded streams build the pipeline with
+        ``.extract(..., keep_traces=False)`` — trace accumulation is the
+        only per-sample state that grows with stream length.
+        """
+        rate = int(sample_rate or self.default_sample_rate)
+        return self._execute(chunks, rate)
+
+    # -- internals -------------------------------------------------------------
+
+    def _coerce_source(
+        self, source, sample_rate: int | None
+    ) -> tuple[Iterable[np.ndarray], int]:
+        if isinstance(source, AcousticClip):
+            return [source.samples], int(source.sample_rate)
+        if isinstance(source, WavClip):
+            return [self._mono(source.samples)], int(source.sample_rate)
+        if isinstance(source, (str, Path)):
+            wav = read_wav(source)
+            return [self._mono(wav.samples)], int(wav.sample_rate)
+        rate = int(sample_rate or self.default_sample_rate)
+        if isinstance(source, np.ndarray):
+            return [source], rate
+        # Mappings and raw byte blobs are technically iterable but never a
+        # chunk stream; rejecting them here gives a clear TypeError instead
+        # of a numpy conversion error deep inside the first stage.
+        if isinstance(source, Iterable) and not isinstance(
+            source, (dict, bytes, bytearray)
+        ):
+            return source, rate
+        raise TypeError(
+            "source must be an AcousticClip, WavClip, numpy array, WAV path "
+            f"or an iterable of chunks, got {type(source).__name__}"
+        )
+
+    @staticmethod
+    def _mono(samples: np.ndarray) -> np.ndarray:
+        return samples if samples.ndim == 1 else samples[0]
+
+    def _execute(
+        self, chunks: Iterable[np.ndarray], sample_rate: int
+    ) -> Iterator[PipelineEvent]:
+        for stage in self.stages:
+            stage.reset()
+            stage.start(sample_rate)
+        offset = 0
+        for chunk in chunks:
+            arr = np.asarray(chunk, dtype=float).ravel()
+            events: list[PipelineEvent] = [
+                SignalChunk(samples=arr, sample_rate=sample_rate, offset=offset)
+            ]
+            offset += arr.size
+            for stage in self.stages:
+                batch: list[PipelineEvent] = []
+                for event in events:
+                    batch.extend(stage.process(event))
+                events = batch
+            yield from events
+        # End of stream: flush each stage once, pushing its flushed events
+        # through the stages downstream of it (single pass, like
+        # repro.river.Pipeline.flush).
+        pending: list[PipelineEvent] = []
+        for stage in self.stages:
+            moved: list[PipelineEvent] = []
+            for event in pending:
+                moved.extend(stage.process(event))
+            moved.extend(stage.flush())
+            pending = moved
+        yield from pending

@@ -1,0 +1,379 @@
+"""Compile a stage graph into Dynamic River operators.
+
+``AcousticPipeline.to_river()`` lands here: every stage is wrapped in a thin
+record operator, so the *same* stage objects that power batch runs and
+``extract_stream()`` also run inside distributed pipeline segments.  The
+wrappers only translate between records and events:
+
+* :class:`ExtractStageOperator` feeds clip-scoped audio records into the
+  extract stage as :class:`~repro.pipeline.results.SignalChunk` events and
+  emits each completed ensemble as an ensemble scope
+  (``OpenScope`` / audio data / ``CloseScope``);
+* :class:`EnsembleStageOperator` buffers one ensemble scope at a time,
+  rebuilds the event it encodes, passes it through the wrapped stage
+  (features, classify or any plugin) and re-emits the enriched scope.
+
+Because the streaming engine is chunk-invariant, record boundaries do not
+affect the output: running a clip through the compiled river pipeline yields
+exactly the ensembles, patterns and labels of a batch ``run()`` over the
+same clip — :func:`collect_result` parses them back into
+:class:`~repro.pipeline.results.PipelineResult` form for convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..river.operator_base import Operator
+from ..river.operators.io_ops import ClipSource
+from ..river.pipeline import Pipeline as RiverPipeline
+from ..river.records import (
+    Record,
+    ScopeType,
+    Subtype,
+    close_scope,
+    data_record,
+    open_scope,
+)
+from ..synth.clips import AcousticClip
+from .results import (
+    ClassifiedEvent,
+    EnsembleEvent,
+    FeaturesEvent,
+    PipelineEvent,
+    PipelineResult,
+    SignalChunk,
+)
+from ..core.cutter import Ensemble
+from .stages import ExtractStage, Stage
+
+__all__ = [
+    "ExtractStageOperator",
+    "EnsembleStageOperator",
+    "compile_to_river",
+    "collect_result",
+    "decode_ensemble_scope",
+    "run_clips_via_river",
+]
+
+
+def _ensemble_context(event: PipelineEvent, sample_rate: int) -> dict:
+    ensemble = event.ensemble
+    context = {
+        "start": int(ensemble.start),
+        "end": int(ensemble.end),
+        "sample_rate": int(sample_rate),
+    }
+    if isinstance(event, ClassifiedEvent):
+        context["label"] = event.label
+    elif ensemble.label is not None:
+        context["label"] = ensemble.label
+    return context
+
+
+def decode_ensemble_scope(
+    records: Sequence[Record], default_rate: int | None = None
+) -> tuple[Ensemble, tuple[np.ndarray, ...], object] | None:
+    """Decode one buffered ensemble scope back into its parts.
+
+    ``records`` is the scope's OpenScope followed by its inner records (the
+    CloseScope may be present or not).  Returns ``(ensemble, patterns,
+    label)`` — the single decoder behind both the stage operators and
+    :func:`collect_result`, so the record encoding produced by
+    :func:`event_to_records` has exactly one reader to keep in sync.
+    Returns None when the scope carries no audio.
+    """
+    opener = records[0]
+    audio: np.ndarray | None = None
+    patterns: list[np.ndarray] = []
+    label_record: Record | None = None
+    for record in records[1:]:
+        if not record.is_data:
+            continue
+        if record.subtype == Subtype.AUDIO.value:
+            audio = np.asarray(record.payload, dtype=float).ravel()
+        elif record.subtype == Subtype.FEATURES.value:
+            patterns.append(np.asarray(record.payload, dtype=float).ravel())
+        elif record.subtype == Subtype.LABEL.value:
+            label_record = record
+    if audio is None:
+        return None
+    context = opener.context
+    if label_record is not None:
+        label = label_record.context.get("label")
+    else:
+        label = context.get("label")
+    rate = int(context.get("sample_rate", default_rate or 22050))
+    start = int(context.get("start", 0))
+    ensemble = Ensemble(
+        samples=audio,
+        start=start,
+        end=int(context.get("end", start + audio.size)),
+        sample_rate=rate,
+        label=label,
+    )
+    return ensemble, tuple(patterns), label
+
+
+def event_to_records(
+    event: PipelineEvent, depth: int, index: int, sample_rate: int
+) -> list[Record]:
+    """Encode one ensemble-lineage event as a well-formed ensemble scope."""
+    ensemble = event.ensemble
+    context = _ensemble_context(event, sample_rate)
+    records = [
+        open_scope(
+            scope=depth,
+            scope_type=ScopeType.ENSEMBLE.value,
+            sequence=index,
+            context=dict(context),
+        ),
+        data_record(
+            ensemble.samples,
+            subtype=Subtype.AUDIO.value,
+            scope=depth + 1,
+            scope_type=ScopeType.ENSEMBLE.value,
+            sequence=index,
+            context=dict(context),
+        ),
+    ]
+    for pattern_index, pattern in enumerate(event.patterns):
+        records.append(
+            data_record(
+                pattern,
+                subtype=Subtype.FEATURES.value,
+                scope=depth + 1,
+                scope_type=ScopeType.ENSEMBLE.value,
+                sequence=pattern_index,
+                context=dict(context),
+            )
+        )
+    if isinstance(event, ClassifiedEvent):
+        records.append(
+            data_record(
+                np.zeros(0),
+                subtype=Subtype.LABEL.value,
+                scope=depth + 1,
+                scope_type=ScopeType.ENSEMBLE.value,
+                sequence=index,
+                context={**context, "votes": dict(event.votes)},
+            )
+        )
+    records.append(
+        close_scope(scope=depth, scope_type=ScopeType.ENSEMBLE.value, sequence=index)
+    )
+    return records
+
+
+class ExtractStageOperator(Operator):
+    """Run the extract stage over clip-scoped audio records.
+
+    The output stream contains ensembles only (like the classic ``cutter``
+    operator): an ensemble scope per completed ensemble, with the clip's
+    scope records forwarded around them.
+    """
+
+    def __init__(self, stage: ExtractStage, name: str = "extract-stage") -> None:
+        super().__init__(name)
+        self.stage = stage
+        self._depth = 0
+        self._index = 0
+        self._offset = 0
+        self._in_clip = False
+
+    def _emit(self, events: list[PipelineEvent]) -> list[Record]:
+        records: list[Record] = []
+        for event in events:
+            if not isinstance(event, EnsembleEvent):
+                continue
+            records.extend(
+                event_to_records(event, self._depth, self._index, self.stage.sample_rate)
+            )
+            self._index += 1
+        return records
+
+    def _flush_stage(self) -> list[Record]:
+        # Flush unconditionally: a trailing open ensemble must be emitted
+        # even on streams without clip scopes (e.g. a raw uplink source
+        # ending in END_OF_STREAM).  A second flush after a clip close is a
+        # harmless no-op.
+        self._in_clip = False
+        return self._emit(self.stage.flush())
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_open and record.scope_type == ScopeType.CLIP.value:
+            self.stage.reset()
+            self.stage.start(
+                int(record.context.get("sample_rate", self.stage.config.sample_rate))
+            )
+            self._depth = record.scope + 1
+            self._index = 0
+            self._offset = 0
+            self._in_clip = True
+            return [record]
+        if record.is_close and record.scope_type == ScopeType.CLIP.value:
+            outputs = self._flush_stage()
+            record.context = {**record.context, "total_samples": self.stage.samples_seen}
+            outputs.append(record)
+            return outputs
+        if record.is_end:
+            return self._flush_stage() + [record]
+        if not (record.is_data and record.subtype == Subtype.AUDIO.value):
+            return [record]
+        chunk = SignalChunk(
+            samples=record.payload,
+            sample_rate=self.stage.sample_rate,
+            offset=self._offset,
+        )
+        self._offset += chunk.samples.size
+        return self._emit(self.stage.process(chunk))
+
+    def flush(self) -> list[Record]:
+        return self._flush_stage()
+
+    def reset(self) -> None:
+        super().reset()
+        self.stage.reset()
+        self._index = 0
+        self._offset = 0
+        self._in_clip = False
+
+
+class EnsembleStageOperator(Operator):
+    """Run a per-ensemble stage (features, classify, plugins) over scopes."""
+
+    def __init__(self, stage: Stage, name: str | None = None) -> None:
+        super().__init__(name or f"{stage.name}-stage")
+        self.stage = stage
+        self._buffer: list[Record] | None = None
+        self._sample_rate: int | None = None
+
+    def _decode(self, records: list[Record]) -> PipelineEvent | None:
+        """Rebuild the event encoded by one buffered ensemble scope."""
+        decoded = decode_ensemble_scope(records, default_rate=self._sample_rate)
+        if decoded is None:
+            return None
+        ensemble, patterns, _ = decoded
+        if patterns:
+            return FeaturesEvent(ensemble=ensemble, patterns=patterns)
+        return EnsembleEvent(ensemble=ensemble)
+
+    def _encode(self, events: list[PipelineEvent], depth: int, index: int) -> list[Record]:
+        records: list[Record] = []
+        for event in events:
+            if not isinstance(event, (EnsembleEvent, FeaturesEvent, ClassifiedEvent)):
+                continue
+            rate = event.ensemble.sample_rate
+            records.extend(event_to_records(event, depth, index, rate))
+        return records
+
+    def process(self, record: Record) -> list[Record]:
+        if self._buffer is not None:
+            if record.is_close and record.scope_type == ScopeType.ENSEMBLE.value:
+                buffered = self._buffer
+                self._buffer = None
+                if record.is_bad_close:
+                    # The scope never reached its true close; nothing was
+                    # forwarded for it, so nothing needs repairing downstream.
+                    return []
+                event = self._decode(buffered)
+                if event is None:
+                    return []
+                outputs = self.stage.process(event)
+                return self._encode(outputs, buffered[0].scope, buffered[0].sequence)
+            self._buffer.append(record)
+            return []
+        if record.is_open and record.scope_type == ScopeType.ENSEMBLE.value:
+            self._buffer = [record]
+            return []
+        if record.is_open and record.scope_type == ScopeType.CLIP.value:
+            self.stage.reset()
+            rate = record.context.get("sample_rate")
+            if rate is not None:
+                self._sample_rate = int(rate)
+                self.stage.start(self._sample_rate)
+            return [record]
+        return [record]
+
+    def flush(self) -> list[Record]:
+        self._buffer = None
+        return self._encode(self.stage.flush(), depth=0, index=0)
+
+    def reset(self) -> None:
+        super().reset()
+        self.stage.reset()
+        self._buffer = None
+
+
+def compile_to_river(builder, name: str = "acoustic-pipeline") -> RiverPipeline:
+    """Instantiate a builder's stage graph as a Dynamic River pipeline.
+
+    Fresh stage instances are created (trace accumulation disabled, since a
+    river stream may be unbounded); the wrapped operators can be split into
+    :class:`~repro.river.pipeline.PipelineSegment`\\ s and placed on hosts
+    like any other operator chain.
+    """
+    stages = builder.instantiate(keep_traces=False)
+    operators: list[Operator] = []
+    for stage in stages:
+        if isinstance(stage, ExtractStage):
+            operators.append(ExtractStageOperator(stage))
+        else:
+            operators.append(EnsembleStageOperator(stage))
+    return RiverPipeline(operators, name=name)
+
+
+def collect_result(records: Sequence[Record], sample_rate: int | None = None) -> PipelineResult:
+    """Parse a compiled pipeline's output records back into a result.
+
+    Ensemble scopes become index-aligned (ensemble, patterns, label) entries;
+    ``total_samples`` is taken from the clip CloseScope annotation the
+    extract operator leaves behind (0 when absent, e.g. on repaired streams).
+    """
+    result = PipelineResult(sample_rate=int(sample_rate or 0), total_samples=0)
+    buffer: list[Record] | None = None
+    for record in records:
+        if record.is_open and record.scope_type == ScopeType.CLIP.value:
+            rate = record.context.get("sample_rate")
+            if rate is not None and not result.sample_rate:
+                result.sample_rate = int(rate)
+            continue
+        if record.is_close and record.scope_type == ScopeType.CLIP.value:
+            result.total_samples += int(record.context.get("total_samples", 0))
+            continue
+        if record.is_open and record.scope_type == ScopeType.ENSEMBLE.value:
+            buffer = [record]
+            continue
+        if buffer is None:
+            continue
+        if record.is_close and record.scope_type == ScopeType.ENSEMBLE.value:
+            decoded = decode_ensemble_scope(buffer, default_rate=result.sample_rate or None)
+            buffer = None
+            if decoded is None:
+                continue
+            ensemble, patterns, label = decoded
+            result.ensembles.append(ensemble)
+            result.patterns.append(patterns)
+            result.labels.append(label)
+            continue
+        buffer.append(record)
+    return result
+
+
+def run_clips_via_river(
+    pipeline, clips: Sequence[AcousticClip], record_size: int = 4096
+) -> PipelineResult:
+    """Convenience: stream clips through the compiled river pipeline.
+
+    ``pipeline`` is an :class:`~repro.pipeline.builder.AcousticPipeline` or a
+    :class:`~repro.pipeline.builder.BuiltPipeline`; each clip is chunked into
+    ``record_size`` audio records exactly as a station uplink would deliver
+    it.  Returns the combined result over all clips.
+    """
+    river = pipeline.to_river()
+    source = ClipSource(list(clips), record_size=record_size)
+    outputs = river.run_source(source)
+    rate = int(clips[0].sample_rate) if clips else None
+    return collect_result(outputs, sample_rate=rate)

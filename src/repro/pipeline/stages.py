@@ -1,0 +1,273 @@
+"""The Stage protocol and the built-in acoustic stages.
+
+A *stage* is a stateful event transformer with a tiny lifecycle:
+
+* ``start(sample_rate)`` — called once per run before any event;
+* ``process(event)`` — map one event to zero or more output events;
+* ``flush()`` — emit whatever is still buffered at end of stream;
+* ``reset()`` — drop all carried state so the stage can be reused.
+
+Events a stage does not understand must pass through unchanged, which is
+what makes stage graphs composable: inserting a new stage never breaks the
+ones downstream.  The built-in stages cover the paper's chain — extraction
+(saxanomaly → trigger → cutter), spectro-temporal features and MESO
+classification — and register themselves in the default
+:class:`~repro.pipeline.registry.StageRegistry` under ``"extract"``,
+``"features"`` and ``"classify"``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable
+
+import numpy as np
+
+from ..classify.features import PatternExtractor
+from ..classify.voting import majority_vote
+from ..config import ExtractionConfig, FeatureConfig
+from ..core.anomaly import sax_anomaly_scores
+from ..core.cutter import cut_ensembles
+from ..core.trigger import AdaptiveTrigger
+from .results import (
+    ClassifiedEvent,
+    EnsembleEvent,
+    FeaturesEvent,
+    PipelineEvent,
+    SignalChunk,
+)
+from .streaming import ChunkedAnomalyScorer, ChunkedCutter
+
+__all__ = [
+    "Stage",
+    "BatchOnlyStageError",
+    "ExtractStage",
+    "FeatureStage",
+    "ClassifyStage",
+]
+
+
+class BatchOnlyStageError(RuntimeError):
+    """Raised when a batch-only stage configuration receives a chunked stream."""
+
+
+class Stage:
+    """Base class for pipeline stages (see module docstring for the contract)."""
+
+    name = "stage"
+
+    def start(self, sample_rate: int) -> None:
+        """Prepare for a new run at the given sample rate."""
+
+    def process(self, event: PipelineEvent) -> list[PipelineEvent]:
+        """Transform one event; unknown events must be forwarded unchanged."""
+        raise NotImplementedError
+
+    def flush(self) -> list[PipelineEvent]:
+        """Emit buffered events at end of stream (default: nothing)."""
+        return []
+
+    def reset(self) -> None:
+        """Discard all carried state."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ExtractStage(Stage):
+    """saxanomaly → trigger → cutter: signal chunks in, ensembles out.
+
+    Two normalisation modes are supported:
+
+    * ``"running"`` (default) — causal prefix normalisation via the
+      chunk-invariant streaming engine.  Results are identical no matter how
+      the signal is chunked, which is what ``extract_stream()`` and the
+      Dynamic River backend require.
+    * ``"global"`` — the legacy batch semantics (Z-normalise against the
+      whole clip), kept for exact reproduction of the paper experiments.
+      Batch-only: feeding more than one chunk raises
+      :class:`BatchOnlyStageError`.
+    """
+
+    name = "extract"
+
+    def __init__(
+        self,
+        config: ExtractionConfig | None = None,
+        hop: int = 16,
+        normalization: str = "running",
+        keep_traces: bool = True,
+    ) -> None:
+        if normalization not in ("running", "global"):
+            raise ValueError(
+                f"normalization must be 'running' or 'global', got {normalization!r}"
+            )
+        self.config = config or ExtractionConfig()
+        self.hop = hop
+        self.normalization = normalization
+        self.keep_traces = keep_traces
+        self.sample_rate = self.config.sample_rate
+        self.reset()
+
+    # -- configuration helpers ----------------------------------------------
+
+    @property
+    def settle(self) -> int:
+        """Trigger settle period (derived from the anomaly config when 0)."""
+        settle = self.config.trigger.settle
+        if settle == 0:
+            anomaly = self.config.anomaly
+            settle = anomaly.window + anomaly.lag_window + anomaly.smooth_window
+        return settle
+
+    @property
+    def samples_seen(self) -> int:
+        return self._samples_seen
+
+    def traces(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """(anomaly_scores, trigger) accumulated so far, or (None, None)."""
+        if not self.keep_traces or not self._score_chunks:
+            return None, None
+        return np.concatenate(self._score_chunks), np.concatenate(self._trigger_chunks)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, sample_rate: int) -> None:
+        self.sample_rate = int(sample_rate or self.config.sample_rate)
+        self._cutter.sample_rate = self.sample_rate
+
+    def reset(self) -> None:
+        # Freeze the normalisation scale once the trigger's settle period is
+        # over, so one loud event cannot re-scale the rest of the stream.
+        self._scorer = ChunkedAnomalyScorer(
+            self.config.anomaly, hop=self.hop, freeze_normalizer_after=self.settle
+        )
+        self._trigger = AdaptiveTrigger(self.config.trigger, settle=self.settle)
+        self._cutter = ChunkedCutter(
+            self.sample_rate, min_duration=self.config.trigger.min_duration
+        )
+        self._samples_seen = 0
+        self._score_chunks: list[np.ndarray] = []
+        self._trigger_chunks: list[np.ndarray] = []
+
+    # -- processing ----------------------------------------------------------
+
+    def process(self, event: PipelineEvent) -> list[PipelineEvent]:
+        if not isinstance(event, SignalChunk):
+            return [event]
+        if self.normalization == "global":
+            return self._process_global(event)
+        samples = event.samples
+        scores = self._scorer.process(samples)
+        trigger = self._trigger.apply(scores)
+        if self.keep_traces:
+            self._score_chunks.append(scores)
+            self._trigger_chunks.append(trigger)
+        self._samples_seen += samples.size
+        return [EnsembleEvent(e) for e in self._cutter.push_block(samples, trigger)]
+
+    def _process_global(self, event: SignalChunk) -> list[PipelineEvent]:
+        if self._samples_seen:
+            raise BatchOnlyStageError(
+                "normalization='global' reproduces the legacy whole-clip batch "
+                "semantics and cannot run over a chunked stream; build the "
+                "pipeline with normalization='running' for streaming"
+            )
+        samples = event.samples
+        scores = sax_anomaly_scores(samples, self.config.anomaly, hop=self.hop, smooth=True)
+        trigger = AdaptiveTrigger(self.config.trigger, settle=self.settle).apply(scores)
+        ensembles = cut_ensembles(
+            samples, trigger, self.sample_rate, min_duration=self.config.trigger.min_duration
+        )
+        if self.keep_traces:
+            self._score_chunks.append(scores)
+            self._trigger_chunks.append(trigger)
+        self._samples_seen += samples.size
+        return [EnsembleEvent(e) for e in ensembles]
+
+    def flush(self) -> list[PipelineEvent]:
+        if self.normalization == "global":
+            return []
+        return [EnsembleEvent(e) for e in self._cutter.flush()]
+
+
+class FeatureStage(Stage):
+    """Spectro-temporal pattern construction for every completed ensemble."""
+
+    name = "features"
+
+    def __init__(
+        self,
+        config: FeatureConfig | None = None,
+        use_paa: bool = False,
+        normalize: str = "max",
+        log_compress: bool = True,
+        log_gain: float = 100.0,
+        sample_rate: int | None = None,
+    ) -> None:
+        self.config = config or FeatureConfig()
+        self.use_paa = use_paa
+        self.normalize = normalize
+        self.log_compress = log_compress
+        self.log_gain = log_gain
+        self.sample_rate = sample_rate
+        self._extractor: PatternExtractor | None = None
+        if sample_rate is not None:
+            self.start(sample_rate)
+
+    def start(self, sample_rate: int) -> None:
+        self.sample_rate = int(sample_rate)
+        self._extractor = PatternExtractor(
+            config=self.config,
+            sample_rate=self.sample_rate,
+            use_paa=self.use_paa,
+            normalize=self.normalize,
+            log_compress=self.log_compress,
+            log_gain=self.log_gain,
+        )
+
+    @property
+    def extractor(self) -> PatternExtractor:
+        """The underlying :class:`PatternExtractor` (requires ``start``)."""
+        if self._extractor is None:
+            raise RuntimeError("feature stage has not been started with a sample rate")
+        return self._extractor
+
+    def patterns_for(self, samples: np.ndarray) -> list[np.ndarray]:
+        """Patterns for a raw sample array (e.g. reference training songs)."""
+        return self.extractor.patterns_from_samples(samples)
+
+    def process(self, event: PipelineEvent) -> list[PipelineEvent]:
+        if not isinstance(event, EnsembleEvent):
+            return [event]
+        patterns = tuple(self.extractor.patterns_from_ensemble(event.ensemble))
+        return [FeaturesEvent(ensemble=event.ensemble, patterns=patterns)]
+
+
+class ClassifyStage(Stage):
+    """Per-ensemble majority voting with any ``predict``-style classifier."""
+
+    name = "classify"
+
+    def __init__(self, classifier) -> None:
+        if not hasattr(classifier, "predict"):
+            raise TypeError(
+                f"classifier must expose a predict(pattern) method, got {classifier!r}"
+            )
+        self.classifier = classifier
+
+    def process(self, event: PipelineEvent) -> list[PipelineEvent]:
+        if not isinstance(event, FeaturesEvent):
+            return [event]
+        votes: Counter[Hashable] = Counter(
+            self.classifier.predict(pattern) for pattern in event.patterns
+        )
+        label = majority_vote(list(votes.elements())) if votes else None
+        return [
+            ClassifiedEvent(
+                ensemble=event.ensemble,
+                patterns=event.patterns,
+                label=label,
+                votes=dict(votes),
+            )
+        ]

@@ -46,9 +46,11 @@ def build_extraction_pipeline(
         config.anomaly.window + config.anomaly.lag_window + config.anomaly.smooth_window
     )
     operators = [
-        SaxAnomalyOperator(config.anomaly, hop=hop),
+        SaxAnomalyOperator(config.anomaly, hop=hop, freeze_normalizer_after=settle),
         TriggerOperator(config.trigger, settle=settle),
-        CutterOperator(min_duration=config.trigger.min_duration),
+        CutterOperator(
+            min_duration=config.trigger.min_duration, sample_rate=config.sample_rate
+        ),
     ] + _feature_operators(config, use_paa)
     return Pipeline(operators, name=name)
 

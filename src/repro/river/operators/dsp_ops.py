@@ -17,7 +17,7 @@ from ...dsp.dft import complex_magnitude, frequency_band_indices
 from ...dsp.window_functions import get_window
 from ...timeseries.paa import paa_by_factor
 from ..operator_base import Operator
-from ..records import Record, ScopeType, Subtype, data_record
+from ..records import Record, Subtype
 
 __all__ = [
     "Reslice",

@@ -19,7 +19,6 @@ from ...synth.clips import AcousticClip
 from ..operator_base import Operator, SinkOperator, SourceOperator
 from ..records import (
     Record,
-    RecordType,
     ScopeType,
     Subtype,
     close_scope,

@@ -1,11 +1,15 @@
 """The ensemble-extraction operators: saxanomaly, trigger and cutter.
 
-These are the Dynamic River counterparts of :mod:`repro.core`: the same
-algorithms packaged as record operators so they can run inside distributed
-pipeline segments.  ``saxanomaly`` forwards each audio record unchanged and
-emits a parallel record of smoothed anomaly scores; ``trigger`` turns score
-records into 0/1 trigger records; ``cutter`` combines audio and trigger
-records into ensemble scopes containing only the anomalous audio.
+These are thin Dynamic River wrappers around the shared chunk-invariant
+streaming engine (:mod:`repro.pipeline.streaming`): the operators only
+translate between records and arrays, while all scoring and cutting
+semantics live in one place.  Because the engine is invariant to chunking,
+record boundaries do not perturb the output — a clip streamed through these
+operators yields exactly the scores, triggers and ensembles of a batch run
+over the whole clip.  ``saxanomaly`` forwards each audio record unchanged
+and emits a parallel record of smoothed anomaly scores; ``trigger`` turns
+score records into 0/1 trigger records; ``cutter`` combines audio and
+trigger records into ensemble scopes containing only the anomalous audio.
 """
 
 from __future__ import annotations
@@ -13,8 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from ...config import AnomalyConfig, TriggerConfig
-from ...core.anomaly import sax_anomaly_scores
 from ...core.trigger import AdaptiveTrigger
+from ...pipeline.streaming import ChunkedAnomalyScorer, ChunkedCutter
 from ..operator_base import Operator
 from ..records import Record, ScopeType, Subtype, close_scope, data_record, open_scope
 
@@ -25,36 +29,36 @@ class SaxAnomalyOperator(Operator):
     """Score incoming audio records with the SAX-bitmap anomaly measure.
 
     For every audio data record the operator emits the original record
-    followed by an ``anomaly_score`` record of equal length.  Scores are
-    computed against a rolling history buffer long enough to hold the lag
-    window, the lead window and the smoothing window, so record boundaries do
-    not perturb the scores; the buffer is cleared at clip boundaries.
+    followed by an ``anomaly_score`` record of equal length.  The wrapped
+    :class:`~repro.pipeline.streaming.ChunkedAnomalyScorer` carries its
+    state across record boundaries, so the scores are identical to a batch
+    evaluation of the whole clip; the state is cleared at clip boundaries.
     """
 
-    def __init__(self, config: AnomalyConfig | None = None, hop: int = 16, name: str = "saxanomaly") -> None:
+    def __init__(
+        self,
+        config: AnomalyConfig | None = None,
+        hop: int = 16,
+        freeze_normalizer_after: int | None = None,
+        name: str = "saxanomaly",
+    ) -> None:
         super().__init__(name)
         self.config = config or AnomalyConfig()
-        if hop < 1:
-            raise ValueError(f"hop must be >= 1, got {hop}")
         self.hop = hop
-        self._history = np.zeros(0)
-        self._history_limit = (
-            self.config.lag_window + self.config.window + self.config.smooth_window
+        self.freeze_normalizer_after = freeze_normalizer_after
+        self._scorer = ChunkedAnomalyScorer(
+            self.config, hop=hop, freeze_normalizer_after=freeze_normalizer_after
         )
 
     def process(self, record: Record) -> list[Record]:
         if record.is_open and record.scope_type == ScopeType.CLIP.value:
-            self._history = np.zeros(0)
+            self._scorer.reset()
             return [record]
         if not (record.is_data and record.subtype == Subtype.AUDIO.value):
             return [record]
-        samples = np.asarray(record.payload, dtype=float).ravel()
-        combined = np.concatenate([self._history, samples])
-        scores = sax_anomaly_scores(combined, self.config, hop=self.hop, smooth=True)
-        tail_scores = scores[-samples.size :] if samples.size else scores[:0]
-        self._history = combined[-self._history_limit :]
+        scores = self._scorer.process(np.asarray(record.payload, dtype=float).ravel())
         score_record = data_record(
-            tail_scores,
+            scores,
             subtype=Subtype.ANOMALY_SCORE.value,
             scope=record.scope,
             scope_type=record.scope_type,
@@ -65,7 +69,7 @@ class SaxAnomalyOperator(Operator):
 
     def reset(self) -> None:
         super().reset()
-        self._history = np.zeros(0)
+        self._scorer.reset()
 
 
 class TriggerOperator(Operator):
@@ -105,70 +109,94 @@ class CutterOperator(Operator):
     """Cut trigger-high runs of audio into ensemble scopes.
 
     The operator consumes interleaved audio and trigger records (as produced
-    by ``saxanomaly`` + ``trigger``), pairs them positionally, and emits an
-    ``OpenScope(scope_ensemble)`` on each 0→1 transition, audio data records
-    while the trigger is high, and a ``CloseScope`` on each 1→0 transition.
-    An ensemble left open when its clip closes is closed before the clip's
-    CloseScope is forwarded, so scopes always nest correctly.
+    by ``saxanomaly`` + ``trigger``), pairs them positionally and feeds them
+    to a shared :class:`~repro.pipeline.streaming.ChunkedCutter`, which
+    stitches runs across record boundaries.  Each completed ensemble is
+    emitted as ``OpenScope(scope_ensemble)``, one audio data record and a
+    ``CloseScope``; an ensemble left open when its clip closes is flushed
+    before the clip's CloseScope is forwarded, so scopes always nest
+    correctly.  The ensemble's absolute position within its clip travels in
+    the scope context (``start`` / ``end`` / ``sample_rate``).
     """
 
-    def __init__(self, min_duration: int = 1, name: str = "cutter") -> None:
+    def __init__(self, min_duration: int = 1, sample_rate: int = 22050, name: str = "cutter") -> None:
         super().__init__(name)
-        if min_duration < 1:
-            raise ValueError(f"min_duration must be >= 1, got {min_duration}")
-        self.min_duration = min_duration
+        self._cutter = ChunkedCutter(sample_rate, min_duration=min_duration)
         self._audio: np.ndarray | None = None
         self._audio_context: dict = {}
-        self._open = False
-        self._ensemble: list[np.ndarray] = []
         self._ensemble_index = 0
         self._clip_scope_depth = 0
 
+    @property
+    def min_duration(self) -> int:
+        return self._cutter.min_duration
+
+    @property
+    def sample_rate(self) -> int:
+        return self._cutter.sample_rate
+
     # -- helpers -------------------------------------------------------------
 
-    def _close_ensemble(self, scope_depth: int) -> list[Record]:
-        """Emit the buffered ensemble if it is long enough, else nothing."""
-        if not self._open:
-            return []
-        self._open = False
-        samples = np.concatenate(self._ensemble) if self._ensemble else np.zeros(0)
-        self._ensemble = []
-        if samples.size < self.min_duration:
-            return []
-        outputs = [
-            open_scope(
-                scope=scope_depth,
-                scope_type=ScopeType.ENSEMBLE.value,
-                sequence=self._ensemble_index,
-                context=dict(self._audio_context),
-            ),
-            data_record(
-                samples,
-                subtype=Subtype.AUDIO.value,
-                scope=scope_depth + 1,
-                scope_type=ScopeType.ENSEMBLE.value,
-                sequence=self._ensemble_index,
-                context=dict(self._audio_context),
-            ),
-            close_scope(scope=scope_depth, scope_type=ScopeType.ENSEMBLE.value, sequence=self._ensemble_index),
-        ]
-        self._ensemble_index += 1
+    def _ensemble_records(self, ensembles) -> list[Record]:
+        outputs: list[Record] = []
+        depth = self._clip_scope_depth
+        for ensemble in ensembles:
+            context = {
+                **self._audio_context,
+                "start": int(ensemble.start),
+                "end": int(ensemble.end),
+                "sample_rate": int(ensemble.sample_rate),
+            }
+            outputs.append(
+                open_scope(
+                    scope=depth,
+                    scope_type=ScopeType.ENSEMBLE.value,
+                    sequence=self._ensemble_index,
+                    context=dict(context),
+                )
+            )
+            outputs.append(
+                data_record(
+                    ensemble.samples,
+                    subtype=Subtype.AUDIO.value,
+                    scope=depth + 1,
+                    scope_type=ScopeType.ENSEMBLE.value,
+                    sequence=self._ensemble_index,
+                    context=dict(context),
+                )
+            )
+            outputs.append(
+                close_scope(
+                    scope=depth,
+                    scope_type=ScopeType.ENSEMBLE.value,
+                    sequence=self._ensemble_index,
+                )
+            )
+            self._ensemble_index += 1
         return outputs
+
+    def _flush_cutter(self) -> list[Record]:
+        return self._ensemble_records(self._cutter.flush())
 
     # -- operator interface ----------------------------------------------------
 
     def process(self, record: Record) -> list[Record]:
         if record.is_open and record.scope_type == ScopeType.CLIP.value:
             self._clip_scope_depth = record.scope + 1
+            rate = record.context.get("sample_rate")
+            self._cutter = ChunkedCutter(
+                int(rate) if rate else self._cutter.sample_rate,
+                min_duration=self._cutter.min_duration,
+            )
             self._audio = None
             return [record]
         if record.is_close and record.scope_type == ScopeType.CLIP.value:
-            outputs = self._close_ensemble(self._clip_scope_depth)
+            outputs = self._flush_cutter()
             outputs.append(record)
             self._audio = None
             return outputs
         if record.is_end:
-            return self._close_ensemble(self._clip_scope_depth) + [record]
+            return self._flush_cutter() + [record]
         if not record.is_data:
             return [record]
         if record.subtype == Subtype.AUDIO.value:
@@ -179,34 +207,16 @@ class CutterOperator(Operator):
             # Other subtypes (e.g. anomaly scores) are not forwarded: the
             # cutter's output stream contains ensembles only.
             return []
-        trigger = np.asarray(record.payload).ravel().astype(bool)
+        trigger = np.asarray(record.payload).ravel()
         audio = self._audio
         self._audio = None
         if trigger.size != audio.size:
             length = min(trigger.size, audio.size)
             trigger, audio = trigger[:length], audio[:length]
-        outputs: list[Record] = []
-        # Walk the trigger runs inside this record.
-        position = 0
-        while position < trigger.size:
-            value = trigger[position]
-            run_end = position
-            while run_end < trigger.size and trigger[run_end] == value:
-                run_end += 1
-            segment = audio[position:run_end]
-            if value:
-                if not self._open:
-                    self._open = True
-                    self._ensemble = []
-                self._ensemble.append(segment)
-            else:
-                outputs.extend(self._close_ensemble(self._clip_scope_depth))
-            position = run_end
-        return outputs
+        return self._ensemble_records(self._cutter.push_block(audio, trigger))
 
     def reset(self) -> None:
         super().reset()
+        self._cutter.reset()
         self._audio = None
-        self._open = False
-        self._ensemble = []
         self._ensemble_index = 0

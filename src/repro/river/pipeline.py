@@ -15,7 +15,7 @@ from typing import Iterable, Iterator
 
 from .channels import Channel, QueueChannel
 from .errors import ChannelClosed
-from .operator_base import Operator, SinkOperator, SourceOperator, ensure_end_of_stream
+from .operator_base import Operator, SourceOperator, ensure_end_of_stream
 from .records import Record, RecordType
 from .scopes import ScopeStack
 
@@ -59,23 +59,20 @@ class Pipeline:
         return batch
 
     def flush(self) -> list[Record]:
-        """Flush every operator in order, cascading flushed records downstream."""
+        """Flush every operator in order, cascading flushed records downstream.
+
+        Single downstream pass: records flushed by (or cascaded into)
+        operator *i* are handed to operator *i + 1* exactly once, so the
+        cost is linear in pipeline depth × record volume and no stateful
+        operator sees a record twice.
+        """
         batch: list[Record] = []
-        for index, op in enumerate(self.operators):
-            flushed = op._invoke_flush()
-            combined = batch + flushed
-            batch = []
-            for item in combined:
-                remaining = item
-                outputs = [remaining]
-                for downstream in self.operators[index + 1 :]:
-                    next_outputs: list[Record] = []
-                    for out in outputs:
-                        next_outputs.extend(downstream._invoke(out))
-                    outputs = next_outputs
-                    if not outputs:
-                        break
-                batch.extend(outputs)
+        for op in self.operators:
+            cascaded: list[Record] = []
+            for record in batch:
+                cascaded.extend(op._invoke(record))
+            cascaded.extend(op._invoke_flush())
+            batch = cascaded
         return batch
 
     def run(self, records: Iterable[Record]) -> list[Record]:

@@ -71,6 +71,8 @@ class Subtype(str, Enum):
     COMPLEX_SPECTRUM = "complex_spectrum"
     SPECTRUM = "spectrum"
     FEATURES = "features"
+    #: Classification verdict for an ensemble scope (label in the context).
+    LABEL = "label"
     GENERIC = "generic"
 
 

@@ -2,7 +2,7 @@
 
 from .deployment import DeliveryLogEntry, SensorDeployment
 from .observatory import Observatory
-from .station import PowerModel, SensorStation, StationConfig
+from .station import PowerModel, SensorStation, StationCapture, StationConfig
 from .wireless import TransferResult, WirelessLink
 
 __all__ = [
@@ -11,6 +11,7 @@ __all__ = [
     "PowerModel",
     "SensorDeployment",
     "SensorStation",
+    "StationCapture",
     "StationConfig",
     "TransferResult",
     "WirelessLink",

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .observatory import Observatory
-from .station import SensorStation
+from .station import SensorStation, StationCapture
 from .wireless import WirelessLink
 
 __all__ = ["DeliveryLogEntry", "SensorDeployment"]
@@ -38,6 +38,10 @@ class SensorDeployment:
     links: dict[str, WirelessLink] = field(default_factory=dict)
     observatory: Observatory = field(default_factory=Observatory)
     log: list[DeliveryLogEntry] = field(default_factory=list)
+    #: Every capture whose payload made it across the wireless network, in
+    #: delivery order.  For stations with on-station extraction this is the
+    #: only record of what arrived — the raw clip never crossed the link.
+    captures: list[StationCapture] = field(default_factory=list)
     now: float = 0.0
 
     def add_station(self, station: SensorStation, link: WirelessLink | None = None) -> None:
@@ -64,14 +68,22 @@ class SensorDeployment:
             station = due[index]
             station.idle_until(self.now, when)
             self.now = when
-            clip = station.record_clip(self.now)
-            if clip is None:
+            capture = station.capture(self.now)
+            if capture is None:
                 continue
+            clip = capture.clip
             link = self.links[station.station_id]
-            clip_bytes = clip.samples.size * 2  # 16-bit PCM
-            result = link.transfer(clip_bytes)
+            # Stations with an attached pipeline transmit extracted
+            # ensembles only, so their transfers are smaller and faster.
+            result = link.transfer(capture.payload_bytes)
             if result.delivered:
-                self.observatory.receive(clip)
+                self.captures.append(capture)
+                if capture.result is None:
+                    # The full clip crossed the link; archive it.  With
+                    # on-station extraction only the ensembles were
+                    # transmitted, so the observatory gets the capture (via
+                    # ``captures``), never audio that was never sent.
+                    self.observatory.receive(clip)
                 delivered += 1
             self.log.append(
                 DeliveryLogEntry(

@@ -8,6 +8,11 @@ synthetic acoustic substrate: it follows the clip schedule, renders a clip of
 whatever species are active around the station, spends battery energy for
 recording and transmission, and recharges from a simple day/night solar
 model.
+
+A station can additionally run the paper's on-station processing: attach a
+built :class:`~repro.pipeline.AcousticPipeline` and :meth:`SensorStation.capture`
+extracts ensembles right at the pole, transmitting only the anomalous audio —
+the data (and energy) reduction that motivates the whole system.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import numpy as np
 from ..synth.clips import AcousticClip, ClipBuilder
 from ..synth.species import SPECIES_CODES
 
-__all__ = ["StationConfig", "PowerModel", "SensorStation"]
+__all__ = ["StationConfig", "PowerModel", "SensorStation", "StationCapture"]
 
 
 @dataclass(frozen=True)
@@ -98,6 +103,31 @@ class PowerModel:
         return self.battery_level / self.battery_capacity
 
 
+@dataclass(frozen=True)
+class StationCapture:
+    """One scheduled acquisition: the clip plus optional on-station analysis."""
+
+    clip: AcousticClip
+    #: Pipeline result when the station runs on-station extraction, else None.
+    result: object | None
+    #: Samples actually put on the wireless link (ensembles only when a
+    #: pipeline is attached, the whole clip otherwise).
+    transmitted_samples: int
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes on the wire (16-bit PCM)."""
+        return self.transmitted_samples * 2
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the recorded clip removed before transmission."""
+        total = self.clip.samples.size
+        if total == 0:
+            return 0.0
+        return 1.0 - self.transmitted_samples / total
+
+
 @dataclass
 class SensorStation:
     """One simulated field station."""
@@ -108,6 +138,12 @@ class SensorStation:
     #: Simulated time of the next scheduled recording.
     next_recording: float = 0.0
     clips_recorded: int = 0
+    #: Optional on-station processing: a built
+    #: :class:`~repro.pipeline.AcousticPipeline` (anything with ``run(clip)``
+    #: returning an object with ``retained_samples``).
+    pipeline: object | None = None
+    samples_recorded: int = 0
+    samples_transmitted: int = 0
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
@@ -143,6 +179,30 @@ class SensorStation:
         self.next_recording = now + self.config.clip_interval
         self.clips_recorded += 1
         return clip
+
+    def capture(self, now: float) -> StationCapture | None:
+        """Record a clip and, when a pipeline is attached, process it on-station.
+
+        Transmission energy is charged for the payload actually sent: the
+        extracted ensembles when a pipeline is attached, the full clip
+        otherwise — on-station extraction therefore extends battery life as
+        well as shrinking wireless traffic.
+        """
+        clip = self.record_clip(now)
+        if clip is None:
+            return None
+        result = None
+        transmitted = clip.samples.size
+        if self.pipeline is not None:
+            result = self.pipeline.run(clip)
+            transmitted = int(result.retained_samples)
+        transmit_seconds = transmitted / float(clip.sample_rate)
+        self.power.advance(
+            now, elapsed=transmit_seconds, transmitting=transmit_seconds
+        )
+        self.samples_recorded += clip.samples.size
+        self.samples_transmitted += transmitted
+        return StationCapture(clip=clip, result=result, transmitted_samples=transmitted)
 
     def idle_until(self, now: float, until: float) -> None:
         """Advance the power model through an idle period [now, until)."""

@@ -13,7 +13,7 @@ hardest to classify, exactly as in the paper's Table 3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import ClipBuilder, EnsembleExtractor, FAST_EXTRACTION
+from repro import ClipBuilder, FAST_EXTRACTION
+from repro.core.extractor import EnsembleExtractor
 from repro.experiments.datasets import TEST_SCALE, build_experiment_data
 
 

@@ -17,7 +17,6 @@ from repro.core import (
     trigger_signal,
 )
 from repro.core.cutter import Ensemble
-from repro.synth import ClipBuilder
 from repro.synth.dataset import CorpusSpec, build_corpus
 from repro.timeseries.bitmap import bitmap_distance, sax_bitmap
 from repro.timeseries.normalize import znormalize
@@ -315,3 +314,64 @@ class TestConfigValidation:
         assert config.features.low_hz < config.features.high_hz
         with pytest.raises(ValueError):
             ExtractionConfig(sample_rate=0)
+
+
+class TestLabelledEdgeCases:
+    """Boundary behaviour of ExtractionResult.labelled()."""
+
+    @staticmethod
+    def _result_with(ensembles):
+        from repro.core.extractor import ExtractionResult
+
+        return ExtractionResult(
+            ensembles=ensembles,
+            anomaly_scores=np.zeros(0),
+            trigger=np.zeros(0),
+            sample_rate=8000,
+            total_samples=100,
+        )
+
+    @staticmethod
+    def _clip_with_vocalization(start=0, end=50, species="NOCA"):
+        from repro.synth.clips import AcousticClip, Vocalization
+
+        return AcousticClip(
+            samples=np.zeros(100),
+            sample_rate=8000,
+            vocalizations=[Vocalization(species=species, start=start, end=end)],
+        )
+
+    def test_no_overlap_drops_ensemble(self):
+        clip = self._clip_with_vocalization(0, 50)
+        ensemble = Ensemble(samples=np.zeros(20), start=60, end=80, sample_rate=8000)
+        assert self._result_with([ensemble]).labelled(clip) == []
+
+    def test_exact_boundary_overlap_is_kept(self):
+        # Ensemble [40, 60) overlaps vocalisation [0, 50) by exactly 10
+        # samples = 0.5 * its length: >= keeps the exact-boundary case.
+        clip = self._clip_with_vocalization(0, 50)
+        ensemble = Ensemble(samples=np.zeros(20), start=40, end=60, sample_rate=8000)
+        labelled = self._result_with([ensemble]).labelled(clip, min_overlap=0.5)
+        assert [e.label for e in labelled] == ["NOCA"]
+
+    def test_just_below_boundary_is_dropped(self):
+        clip = self._clip_with_vocalization(0, 50)
+        ensemble = Ensemble(samples=np.zeros(20), start=40, end=60, sample_rate=8000)
+        assert self._result_with([ensemble]).labelled(clip, min_overlap=0.51) == []
+
+    def test_zero_length_ensembles_are_skipped(self):
+        # Ensemble itself forbids zero length, but labelled() must stay
+        # robust against duck-typed degenerate entries rather than labelling
+        # them via a vacuous `0 >= min_overlap * 0` comparison.
+        class DegenerateEnsemble:
+            start = 10
+            end = 10
+            length = 0
+
+        clip = self._clip_with_vocalization(0, 50)
+        assert self._result_with([DegenerateEnsemble()]).labelled(clip) == []
+
+    def test_touching_but_not_overlapping_is_dropped(self):
+        clip = self._clip_with_vocalization(0, 50)
+        ensemble = Ensemble(samples=np.zeros(10), start=50, end=60, sample_rate=8000)
+        assert self._result_with([ensemble]).labelled(clip) == []

@@ -20,10 +20,12 @@ from repro.dsp import (
     log_magnitude,
     oscillogram,
     paa_spectrogram,
+    pcm16_to_samples,
     power_spectrum,
     read_wav,
     rectangular_window,
     resample_linear,
+    samples_to_pcm16,
     spectrogram,
     welch_window,
     write_wav,
@@ -230,3 +232,81 @@ class TestResample:
     def test_resample_identity(self, rng):
         samples = rng.normal(size=100)
         np.testing.assert_allclose(resample_linear(samples, 8000, 8000), samples)
+
+
+class TestWavRoundTrips:
+    """WAV I/O invariants: dtype preservation, odd lengths, exactness."""
+
+    def test_pcm16_round_trip_is_exact_and_preserves_dtype(self):
+        pcm = np.array([-32767, -1, 0, 1, 32767, 12345], dtype="<i2")
+        back = samples_to_pcm16(pcm16_to_samples(pcm))
+        assert back.dtype == np.dtype("<i2")
+        np.testing.assert_array_equal(back, pcm)
+
+    def test_read_returns_float_samples(self, tmp_path, rng):
+        path = tmp_path / "f.wav"
+        write_wav(path, rng.uniform(-1, 1, size=64), 8000)
+        clip = read_wav(path)
+        assert clip.samples.dtype == np.float64
+        assert np.abs(clip.samples).max() <= 1.0
+
+    def test_odd_length_mono_round_trip(self, tmp_path, rng):
+        samples = rng.uniform(-0.9, 0.9, size=1001)
+        path = tmp_path / "odd.wav"
+        write_wav(path, samples, 16000)
+        clip = read_wav(path)
+        assert clip.samples.size == 1001
+        np.testing.assert_allclose(clip.samples, samples, atol=1.0 / 32000)
+
+    def test_odd_frame_count_stereo_round_trip(self, tmp_path, rng):
+        samples = rng.uniform(-0.9, 0.9, size=(2, 333))
+        path = tmp_path / "odd_stereo.wav"
+        write_wav(path, samples, 22050)
+        clip = read_wav(path)
+        assert clip.channels == 2
+        assert clip.samples.shape == (2, 333)
+        np.testing.assert_allclose(clip.samples, samples, atol=1.0 / 32000)
+
+    def test_single_sample_clip(self, tmp_path):
+        path = tmp_path / "one.wav"
+        write_wav(path, np.array([0.25]), 8000)
+        clip = read_wav(path)
+        assert clip.samples.size == 1
+        assert clip.samples[0] == pytest.approx(0.25, abs=1e-4)
+
+
+class TestResampleRoundTrips:
+    """Resampling invariants: identity at equal rates, round-trip fidelity."""
+
+    def test_equal_rate_is_identity_with_fresh_copy(self, rng):
+        samples = rng.normal(size=257)
+        out = resample_linear(samples, 16000, 16000)
+        np.testing.assert_array_equal(out, samples)
+        out[0] += 1.0  # the identity path must still return a copy
+        assert out[0] != samples[0]
+
+    def test_equal_float_and_int_rates_are_identity(self, rng):
+        samples = rng.normal(size=100)
+        np.testing.assert_array_equal(resample_linear(samples, 8000.0, 8000), samples)
+
+    def test_decimate_returns_copy_at_factor_one(self, rng):
+        samples = rng.normal(size=50)
+        out = decimate(samples, 1)
+        out[0] += 1.0
+        assert out[0] != samples[0]
+
+    def test_odd_length_decimation(self, rng):
+        samples = rng.normal(size=1001)
+        assert decimate(samples, 4).size == 251  # ceil(1001 / 4)
+
+    def test_down_up_round_trip_preserves_smooth_signal(self):
+        t = np.linspace(0.0, 1.0, 8000, endpoint=False)
+        tone = np.sin(2 * np.pi * 50.0 * t)  # far below both Nyquist rates
+        down = resample_linear(tone, 8000, 4000)
+        back = resample_linear(down, 4000, 8000)
+        assert back.size == tone.size
+        np.testing.assert_allclose(back[100:-100], tone[100:-100], atol=5e-3)
+
+    def test_empty_signal_round_trips(self):
+        assert resample_linear(np.zeros(0), 8000, 16000).size == 0
+        assert decimate(np.zeros(0), 3).size == 0

@@ -7,7 +7,6 @@ plus the paper's qualitative claims that survive even a tiny corpus.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
@@ -22,7 +21,6 @@ from repro.experiments import (
     format_table1,
     format_table3,
 )
-from repro.experiments.datasets import TEST_SCALE
 from repro.experiments.table2 import build_table2, check_shape, format_table2
 from repro.synth import SPECIES_CODES
 from repro.synth.dataset import CorpusSpec, build_corpus

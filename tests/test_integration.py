@@ -8,9 +8,6 @@ and MESO classifies the species — including the failure-injection path.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro import FAST_EXTRACTION, MesoClassifier
 from repro.classify import PatternExtractor, vote_ensemble
 from repro.core import EnsembleExtractor

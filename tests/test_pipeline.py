@@ -1,0 +1,481 @@
+"""Tests for the unified repro.pipeline subsystem.
+
+The headline guarantees under test:
+
+* **one stage graph, two backends** — the same ``AcousticPipeline`` run in
+  batch over a clip and via ``to_river()`` over the chunked record stream of
+  that clip produces identical ensembles and labels;
+* **chunk invariance** — ``extract_stream()`` over 4 chunks matches a
+  single-shot ``run()`` over the concatenated signal exactly;
+* **compatibility** — ``normalization="global"`` reproduces the legacy
+  ``EnsembleExtractor`` bit-for-bit, and the deprecated top-level entry
+  points still work (with a DeprecationWarning).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro
+from repro.config import FAST_EXTRACTION, AnomalyConfig
+from repro.core.cutter import Ensemble, cut_ensembles
+from repro.core.extractor import EnsembleExtractor
+from repro.dsp import write_wav
+from repro.meso import MesoClassifier
+from repro.pipeline import (
+    AcousticPipeline,
+    BatchOnlyStageError,
+    ChunkedAnomalyScorer,
+    ChunkedCutter,
+    ClassifiedEvent,
+    EnsembleEvent,
+    PipelineBuildError,
+    PipelineResult,
+    RunningNormalizer,
+    STAGES,
+    Stage,
+    StageRegistry,
+    run_clips_via_river,
+)
+from repro.river import validate_stream
+from repro.river.operators import ClipSource
+from repro.synth import ClipBuilder, get_species
+
+#: A cheaper anomaly configuration for the pure streaming-engine tests.
+SMALL_ANOMALY = AnomalyConfig(window=64, alphabet=6, level=2, smooth_window=256, lag_factor=4)
+
+
+def assert_same_ensembles(first: list[Ensemble], second: list[Ensemble]) -> None:
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        assert a.start == b.start and a.end == b.end
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+
+@pytest.fixture(scope="module")
+def song_clip():
+    rng = np.random.default_rng(7)
+    return ClipBuilder(sample_rate=16000, duration=12.0).build(
+        ["NOCA", "TUTI"], rng, songs_per_species=2
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_builder(song_clip):
+    """An extract+features+classify builder with a trained MESO memory."""
+    rng = np.random.default_rng(3)
+    meso = MesoClassifier()
+    builder = (
+        AcousticPipeline().extract(FAST_EXTRACTION).features(use_paa=True).classify(meso)
+    )
+    pipe = builder.build()
+    for code in ("NOCA", "TUTI"):
+        for _ in range(3):
+            song = get_species(code).render(song_clip.sample_rate, rng)
+            for vector in pipe.patterns_for(song):
+                meso.partial_fit(vector, code)
+    return builder
+
+
+class TestStreamingPrimitives:
+    def test_running_normalizer_is_chunk_invariant(self, rng):
+        x = rng.standard_normal(5000)
+        whole = RunningNormalizer().process(x)
+        norm = RunningNormalizer()
+        parts = [norm.process(part) for part in np.array_split(x, 7)]
+        np.testing.assert_allclose(np.concatenate(parts), whole, atol=1e-12)
+
+    def test_running_normalizer_freeze_stops_updates(self, rng):
+        x = np.concatenate([rng.standard_normal(1000), 100.0 + rng.standard_normal(1000)])
+        frozen = RunningNormalizer(freeze_after=1000)
+        out = frozen.process(x)
+        # After the freeze the loud shift saturates instead of re-scaling.
+        assert frozen.count == 1000
+        assert out[1500] > 10.0
+
+    def test_scorer_is_chunk_invariant_under_awkward_chunking(self, rng):
+        x = rng.standard_normal(6000)
+        whole = ChunkedAnomalyScorer(SMALL_ANOMALY, hop=16).process(x)
+        scorer = ChunkedAnomalyScorer(SMALL_ANOMALY, hop=16)
+        parts, i = [], 0
+        for size in (1, 3, 700, 64, 2048, 999):
+            parts.append(scorer.process(x[i : i + size]))
+            i += size
+        parts.append(scorer.process(x[i:]))
+        np.testing.assert_allclose(np.concatenate(parts), whole, atol=1e-9)
+
+    def test_scorer_spikes_on_change(self, rng):
+        quiet = 0.05 * rng.standard_normal(6000)
+        quiet[3000:3600] += np.sin(2 * np.pi * 0.2 * np.arange(600))
+        scores = ChunkedAnomalyScorer(SMALL_ANOMALY, hop=4).process(quiet)
+        assert scores[3200:4200].max() > 2 * scores[1000:3000].max()
+
+    def test_chunked_cutter_matches_batch_cutter(self, rng):
+        signal = rng.standard_normal(4000)
+        trigger = (rng.random(4000) < 0.4).astype(int)
+        reference = cut_ensembles(signal, trigger, 8000, min_duration=7)
+        cutter = ChunkedCutter(8000, min_duration=7)
+        pieces = []
+        for part in np.array_split(np.arange(4000), 11):
+            pieces.extend(cutter.push_block(signal[part], trigger[part]))
+        pieces.extend(cutter.flush())
+        assert_same_ensembles(reference, pieces)
+
+    def test_chunked_cutter_stitches_runs_across_chunks(self):
+        cutter = ChunkedCutter(8000, min_duration=1)
+        assert cutter.push_block(np.ones(10), np.ones(10)) == []
+        assert cutter.open
+        (ensemble,) = cutter.push_block(np.full(5, 2.0), np.zeros(5))
+        assert (ensemble.start, ensemble.end) == (0, 10)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert {"extract", "features", "classify"} <= set(STAGES.names())
+
+    def test_register_and_create_custom_stage(self):
+        registry = StageRegistry()
+
+        @registry.register("null")
+        class NullStage(Stage):
+            name = "null"
+
+            def process(self, event):
+                return [event]
+
+        stage = registry.create("null")
+        assert isinstance(stage, NullStage)
+        assert "null" in registry and len(registry) == 1
+
+    def test_unknown_stage_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="extract"):
+            STAGES.create("definitely-not-a-stage")
+
+    def test_factory_must_return_a_stage(self):
+        registry = StageRegistry()
+        registry.register("broken", lambda: object())
+        with pytest.raises(TypeError, match="expected a Stage"):
+            registry.create("broken")
+
+
+class TestBuilderValidation:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PipelineBuildError, match="empty"):
+            AcousticPipeline().build()
+
+    def test_classify_requires_features(self):
+        builder = AcousticPipeline().extract(FAST_EXTRACTION).classify(MesoClassifier())
+        with pytest.raises(PipelineBuildError, match="features"):
+            builder.build()
+
+    def test_extract_must_come_first(self):
+        builder = AcousticPipeline()
+        builder._specs.append(("features", {}))
+        builder._specs.append(("extract", {}))
+        with pytest.raises(PipelineBuildError, match="first"):
+            builder.build()
+
+    def test_unknown_stage_name_rejected(self):
+        with pytest.raises(PipelineBuildError, match="no stage registered"):
+            AcousticPipeline().stage("nonexistent")
+
+    def test_classifier_must_have_predict(self):
+        with pytest.raises(TypeError, match="predict"):
+            AcousticPipeline().extract().features().classify(object()).build()
+
+
+class TestBatchSources:
+    def test_run_accepts_clip_array_wav_and_iterator(self, song_clip, tmp_path):
+        pipe = AcousticPipeline().extract(FAST_EXTRACTION).build()
+        from_clip = pipe.run(song_clip)
+        assert from_clip.sample_rate == song_clip.sample_rate
+        assert from_clip.total_samples == song_clip.samples.size
+        assert from_clip.ensembles, "expected ensembles from a clip with songs"
+
+        from_array = pipe.run(song_clip.samples, sample_rate=song_clip.sample_rate)
+        assert_same_ensembles(from_clip.ensembles, from_array.ensembles)
+
+        path = tmp_path / "clip.wav"
+        write_wav(path, song_clip.samples, song_clip.sample_rate)
+        from_wav = pipe.run(path)
+        assert from_wav.sample_rate == song_clip.sample_rate
+        # 16-bit quantisation perturbs samples, not the workload size.
+        assert from_wav.total_samples == song_clip.samples.size
+        assert from_wav.ensembles
+
+        chunks = np.array_split(song_clip.samples, 5)
+        from_iter = pipe.run(iter(chunks), sample_rate=song_clip.sample_rate)
+        assert_same_ensembles(from_clip.ensembles, from_iter.ensembles)
+
+    def test_run_rejects_unknown_sources(self):
+        pipe = AcousticPipeline().extract(FAST_EXTRACTION).build()
+        with pytest.raises(TypeError, match="source"):
+            pipe.run(42)
+        # Iterable but clearly not a chunk stream: reject up front instead
+        # of failing with a numpy conversion error inside the first stage.
+        with pytest.raises(TypeError, match="source"):
+            pipe.run({"not": "audio"})
+        with pytest.raises(TypeError, match="source"):
+            pipe.run(b"\x00\x01")
+
+    def test_result_reduction_accounting(self, song_clip):
+        pipe = AcousticPipeline().extract(FAST_EXTRACTION).build()
+        result = pipe.run(song_clip)
+        assert result.retained_samples == sum(e.length for e in result.ensembles)
+        assert 0.0 < result.reduction < 1.0
+        assert result.anomaly_scores is not None
+        assert result.anomaly_scores.size == result.total_samples
+        assert set(np.unique(result.trigger)) <= {0, 1}
+
+    def test_ground_truth_and_labelled_are_aligned(self, song_clip):
+        pipe = AcousticPipeline().extract(FAST_EXTRACTION).build()
+        result = pipe.run(song_clip)
+        truths = result.ground_truth(song_clip)
+        assert len(truths) == len(result.ensembles)
+        labelled = result.labelled(song_clip)
+        assert [e.label for e in labelled] == [t for t in truths if t is not None]
+
+
+class TestStreamingEntryPoint:
+    def test_extract_stream_four_chunks_matches_single_shot(self, song_clip, trained_builder):
+        pipe = trained_builder.build()
+        single = pipe.run(song_clip)
+        chunks = np.array_split(song_clip.samples, 4)
+        streamed = pipe.run(iter(chunks), sample_rate=song_clip.sample_rate)
+        assert_same_ensembles(single.ensembles, streamed.ensembles)
+        assert single.labels == streamed.labels
+        for a, b in zip(single.patterns, streamed.patterns):
+            assert len(a) == len(b)
+            for u, v in zip(a, b):
+                np.testing.assert_array_equal(u, v)
+        np.testing.assert_allclose(single.anomaly_scores, streamed.anomaly_scores, atol=1e-9)
+        np.testing.assert_array_equal(single.trigger, streamed.trigger)
+
+    def test_extract_stream_yields_events_incrementally(self, song_clip, trained_builder):
+        pipe = trained_builder.build()
+        chunks = np.array_split(song_clip.samples, 4)
+        events = list(pipe.extract_stream(iter(chunks), sample_rate=song_clip.sample_rate))
+        assert events, "expected events from a clip with songs"
+        assert all(isinstance(event, ClassifiedEvent) for event in events)
+        reference = pipe.run(song_clip)
+        assert [event.label for event in events] == reference.labels
+
+    def test_stream_carries_state_across_chunk_boundaries(self):
+        # A trigger-high run spanning a chunk boundary must come out as ONE
+        # ensemble, not two fragments.
+        rng = np.random.default_rng(5)
+        signal = 0.05 * rng.standard_normal(40000)
+        signal[20000:24000] += np.sin(2 * np.pi * 0.1 * np.arange(4000))
+        pipe = AcousticPipeline().extract(FAST_EXTRACTION).build()
+        single = pipe.run(signal, sample_rate=16000)
+        halves = [signal[:21000], signal[21000:]]  # boundary inside the burst
+        streamed = pipe.run(iter(halves), sample_rate=16000)
+        assert_same_ensembles(single.ensembles, streamed.ensembles)
+
+
+class TestRiverParity:
+    def test_one_stage_graph_two_backends(self, song_clip, trained_builder):
+        """The acceptance criterion: batch and river agree exactly."""
+        batch = trained_builder.build().run(song_clip)
+        river = run_clips_via_river(trained_builder, [song_clip], record_size=4096)
+        assert_same_ensembles(batch.ensembles, river.ensembles)
+        assert batch.labels == river.labels
+        for a, b in zip(batch.patterns, river.patterns):
+            assert len(a) == len(b)
+            for u, v in zip(a, b):
+                np.testing.assert_array_equal(u, v)
+        assert river.total_samples == batch.total_samples
+
+    def test_parity_survives_odd_record_sizes(self, song_clip, trained_builder):
+        batch = trained_builder.build().run(song_clip)
+        river = run_clips_via_river(trained_builder, [song_clip], record_size=1777)
+        assert_same_ensembles(batch.ensembles, river.ensembles)
+        assert batch.labels == river.labels
+
+    def test_compiled_stream_is_well_formed(self, song_clip, trained_builder):
+        pipeline = trained_builder.to_river()
+        outputs = pipeline.run_source(ClipSource([song_clip], record_size=4096))
+        assert validate_stream(outputs) == []
+
+    def test_extraction_only_graph_compiles_too(self, song_clip):
+        builder = AcousticPipeline().extract(FAST_EXTRACTION)
+        batch = builder.build().run(song_clip)
+        river = run_clips_via_river(builder, [song_clip])
+        assert_same_ensembles(batch.ensembles, river.ensembles)
+        assert river.labels == [None] * len(river.ensembles)
+
+
+class TestGlobalNormalizationMode:
+    def test_matches_legacy_extractor_exactly(self, song_clip):
+        legacy = EnsembleExtractor(FAST_EXTRACTION).extract_clip(song_clip)
+        pipe = AcousticPipeline().extract(FAST_EXTRACTION, normalization="global").build()
+        result = pipe.run(song_clip)
+        assert_same_ensembles(legacy.ensembles, result.ensembles)
+        np.testing.assert_array_equal(legacy.anomaly_scores, result.anomaly_scores)
+        np.testing.assert_array_equal(legacy.trigger, result.trigger)
+        assert legacy.reduction == result.reduction
+
+    def test_rejects_chunked_streams(self, song_clip):
+        pipe = AcousticPipeline().extract(FAST_EXTRACTION, normalization="global").build()
+        chunks = np.array_split(song_clip.samples, 2)
+        with pytest.raises(BatchOnlyStageError, match="batch"):
+            list(pipe.extract_stream(iter(chunks), sample_rate=song_clip.sample_rate))
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="normalization"):
+            AcousticPipeline().extract(FAST_EXTRACTION, normalization="sideways").build()
+
+
+class TestOnStationPipeline:
+    def test_station_capture_transmits_ensembles_only(self):
+        from repro.sensors import SensorStation, StationConfig
+
+        config = StationConfig(
+            station_id="pole-7",
+            clip_interval=600.0,
+            clip_duration=8.0,
+            sample_rate=16000,
+            species=("NOCA",),
+            songs_per_clip=2.0,
+        )
+        pipe = AcousticPipeline().extract(FAST_EXTRACTION, keep_traces=False).build()
+        station = SensorStation(config=config, seed=1, pipeline=pipe)
+        capture = station.capture(0.0)
+        assert capture is not None
+        assert capture.result is not None
+        assert capture.transmitted_samples == capture.result.retained_samples
+        assert capture.transmitted_samples < capture.clip.samples.size
+        assert station.samples_transmitted == capture.transmitted_samples
+        assert 0.0 < capture.reduction <= 1.0
+
+    def test_station_without_pipeline_transmits_everything(self):
+        from repro.sensors import SensorStation, StationConfig
+
+        station = SensorStation(
+            config=StationConfig(clip_duration=4.0, sample_rate=8000), seed=2
+        )
+        capture = station.capture(0.0)
+        assert capture.result is None
+        assert capture.transmitted_samples == capture.clip.samples.size
+        assert capture.reduction == 0.0
+
+
+class TestDeprecatedShims:
+    def test_old_imports_warn_but_work(self, song_clip):
+        with pytest.warns(DeprecationWarning, match="AcousticPipeline"):
+            extractor_cls = repro.EnsembleExtractor
+        with pytest.warns(DeprecationWarning, match="features"):
+            pattern_cls = repro.PatternExtractor
+        result = extractor_cls(FAST_EXTRACTION).extract_clip(song_clip)
+        assert result.ensembles
+        patterns = pattern_cls(
+            config=FAST_EXTRACTION.features, sample_rate=song_clip.sample_rate
+        )
+        vectors = patterns.patterns_from_ensemble(result.ensembles[0])
+        assert all(v.size == patterns.features_per_pattern for v in vectors)
+
+    def test_deprecated_names_stay_in_all_and_dir(self):
+        assert "EnsembleExtractor" in repro.__all__
+        assert "PatternExtractor" in dir(repro)
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.DefinitelyNotAThing
+
+
+class TestResultFromEvents:
+    def test_non_ensemble_events_are_ignored(self):
+        ensemble = Ensemble(samples=np.ones(4), start=0, end=4, sample_rate=100)
+        events = [SimpleNamespace(), EnsembleEvent(ensemble=ensemble)]
+        result = PipelineResult.from_events(events, sample_rate=100, total_samples=10)
+        assert len(result.ensembles) == 1
+        assert result.patterns == [()]
+        assert result.labels == [None]
+
+
+class TestReviewRegressions:
+    def test_bare_stream_trailing_ensemble_is_flushed_on_end(self):
+        """A clip-less record stream ending mid-ensemble still emits it."""
+        from repro.pipeline import ExtractStage, ExtractStageOperator
+        from repro.river.records import Subtype, data_record, end_of_stream
+
+        rng = np.random.default_rng(9)
+        signal = 0.05 * rng.standard_normal(40000)
+        signal[30000:] += np.sin(2 * np.pi * 0.1 * np.arange(10000))  # high at EOS
+        operator = ExtractStageOperator(
+            ExtractStage(FAST_EXTRACTION, keep_traces=False)
+        )
+        outputs = []
+        for start in range(0, signal.size, 4096):
+            outputs.extend(
+                operator.process(
+                    data_record(signal[start : start + 4096], subtype=Subtype.AUDIO.value)
+                )
+            )
+        outputs.extend(operator.process(end_of_stream()))
+        opens = [r for r in outputs if r.is_open]
+        assert opens, "the ensemble still open at end-of-stream must be emitted"
+        assert outputs[-1].is_end
+
+    def test_instantiate_overrides_reach_custom_stages(self):
+        """compile_to_river's keep_traces override must reach plugins too."""
+        registry = StageRegistry()
+        registry.register("extract", __import__("repro.pipeline.stages", fromlist=["ExtractStage"]).ExtractStage)
+        seen = {}
+
+        @registry.register("tracing")
+        class TracingStage(Stage):
+            name = "tracing"
+
+            def __init__(self, keep_traces=True):
+                seen["keep_traces"] = keep_traces
+
+            def process(self, event):
+                return [event]
+
+        builder = AcousticPipeline(registry=registry).extract(FAST_EXTRACTION).stage("tracing")
+        builder.instantiate(keep_traces=False)
+        assert seen["keep_traces"] is False
+        # ...but explicit spec kwargs always win over overrides.
+        builder2 = (
+            AcousticPipeline(registry=registry)
+            .extract(FAST_EXTRACTION)
+            .stage("tracing", keep_traces=True)
+        )
+        builder2.instantiate(keep_traces=False)
+        assert seen["keep_traces"] is True
+
+    def test_on_station_deployment_delivers_captures_not_clips(self):
+        """With on-station extraction the observatory never sees untransmitted audio."""
+        from repro.sensors import SensorDeployment, SensorStation, StationConfig, WirelessLink
+
+        pipe = AcousticPipeline().extract(FAST_EXTRACTION, keep_traces=False).build()
+        deployment = SensorDeployment()
+        config = StationConfig(
+            station_id="pole", clip_interval=600.0, clip_duration=6.0,
+            sample_rate=16000, species=("NOCA",), songs_per_clip=2.0,
+        )
+        deployment.add_station(
+            SensorStation(config=config, seed=4, pipeline=pipe), WirelessLink(seed=4)
+        )
+        deployment.run_for(1800.0)
+        assert deployment.captures, "expected delivered captures"
+        assert len(deployment.observatory) == 0  # raw clips never crossed the link
+        for capture in deployment.captures:
+            assert capture.result is not None
+            assert capture.transmitted_samples == capture.result.retained_samples
+
+    def test_plain_deployment_still_archives_clips(self):
+        from repro.sensors import SensorDeployment, SensorStation, StationConfig, WirelessLink
+
+        deployment = SensorDeployment()
+        config = StationConfig(
+            station_id="plain", clip_interval=600.0, clip_duration=4.0,
+            sample_rate=8000, species=("NOCA",),
+        )
+        deployment.add_station(SensorStation(config=config, seed=5), WirelessLink(seed=5))
+        deployment.run_for(1200.0)
+        assert len(deployment.observatory) == len(deployment.captures) > 0

@@ -233,3 +233,84 @@ class TestChannels:
             SimulatedLinkChannel(bandwidth=0)
         with pytest.raises(ValueError):
             SimulatedLinkChannel(loss_rate=1.0)
+
+
+# -- Pipeline.flush ----------------------------------------------------------
+
+from repro.river import Pipeline  # noqa: E402
+from repro.river.operator_base import Operator, PassThrough  # noqa: E402
+
+
+class _Buffering(Operator):
+    """Holds every data record until flush (like rec2vect or a chunker)."""
+
+    def __init__(self, name: str = "buffering") -> None:
+        super().__init__(name)
+        self.held: list[Record] = []
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_data:
+            self.held.append(record)
+            return []
+        return [record]
+
+    def flush(self) -> list[Record]:
+        held, self.held = self.held, []
+        return held
+
+
+class _Doubling(Operator):
+    """Emits every data record twice (fan-out makes re-walk bugs visible)."""
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_data:
+            return [record, record.copy()]
+        return [record]
+
+
+class TestPipelineFlush:
+    def test_flush_output_equivalence_with_inline_processing(self, rng):
+        """Flushing buffered records downstream == processing them directly.
+
+        Regression test for the old flush cascade, which re-walked every
+        downstream operator per flushed record and pushed already-cascaded
+        records through the tail operators a second time.
+        """
+        records = [data_record(rng.normal(size=4), sequence=i) for i in range(5)]
+        buffered = Pipeline([_Buffering(), _Doubling()])
+        for record in records:
+            assert buffered.process_record(record) == []
+        flushed = buffered.flush()
+
+        direct = Pipeline([_Doubling()])
+        expected = [out for record in records for out in direct.process_record(record)]
+        assert len(flushed) == len(expected) == 10
+        for got, want in zip(flushed, expected):
+            np.testing.assert_array_equal(got.payload, want.payload)
+            assert got.sequence == want.sequence
+
+    def test_flush_visits_each_downstream_operator_exactly_once(self, rng):
+        """No record may reach a downstream operator twice during flush."""
+        counters = [PassThrough(name=f"count-{i}") for i in range(4)]
+        pipeline = Pipeline([_Buffering()] + counters)
+        for i in range(7):
+            pipeline.process_record(data_record(rng.normal(size=2), sequence=i))
+        outputs = pipeline.flush()
+        assert len(outputs) == 7
+        for counter in counters:
+            assert counter.records_in == 7
+
+    def test_flush_from_middle_operators_cascades_downstream_only(self, rng):
+        """A mid-pipeline buffer's flush passes through the tail, not the head."""
+        head = PassThrough(name="head")
+        tail = PassThrough(name="tail")
+        pipeline = Pipeline([head, _Buffering(), tail])
+        for i in range(3):
+            pipeline.process_record(data_record(rng.normal(size=2), sequence=i))
+        head_seen = head.records_in
+        outputs = pipeline.flush()
+        assert len(outputs) == 3
+        assert head.records_in == head_seen  # nothing flows backwards
+        # The buffer swallowed every live record, so the tail sees each one
+        # exactly once — during the flush cascade.
+        assert tail.records_in == 3
