@@ -1,0 +1,80 @@
+"""Throughput benchmarks for the parallel corpus executor.
+
+Serial vs process-pool execution of the same extraction graph over the
+same corpus, so the BENCH trajectory records the executor's speed-up (or
+its overhead on corpora too small to amortise worker start-up), plus the
+vectorised vs scalar MESO batch-query comparison that the executor's
+classify stage relies on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import FAST_EXTRACTION, MesoClassifier
+from repro.pipeline import AcousticPipeline
+
+
+@pytest.fixture(scope="module")
+def executor_builder():
+    return AcousticPipeline().extract(FAST_EXTRACTION, keep_traces=False)
+
+
+def test_run_corpus_serial_throughput(benchmark, bench_corpus, executor_builder):
+    pipe = executor_builder.build()
+    results = benchmark.pedantic(
+        lambda: pipe.run_corpus(bench_corpus.clips, backend="serial"),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(bench_corpus.clips)
+    assert any(result.ensembles for result in results)
+
+
+def test_run_corpus_process_throughput(benchmark, bench_corpus, executor_builder):
+    workers = min(4, os.cpu_count() or 1)
+    pipe = executor_builder.build()
+    results = benchmark.pedantic(
+        lambda: pipe.run_corpus(bench_corpus.clips, backend="process", workers=workers),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(bench_corpus.clips)
+    assert any(result.ensembles for result in results)
+
+
+def test_run_corpus_thread_throughput(benchmark, bench_corpus, executor_builder):
+    workers = min(4, os.cpu_count() or 1)
+    pipe = executor_builder.build()
+    results = benchmark.pedantic(
+        lambda: pipe.run_corpus(bench_corpus.clips, backend="thread", workers=workers),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(bench_corpus.clips)
+
+
+def _batch_memory(rng, patterns=600, dim=105, classes=10):
+    centers = rng.normal(size=(classes, dim)) * 3.0
+    data = np.vstack(
+        [centers[i % classes] + rng.normal(size=dim) * 0.3 for i in range(patterns)]
+    )
+    labels = [f"class-{i % classes}" for i in range(patterns)]
+    meso = MesoClassifier()
+    meso.fit(data, labels)
+    return meso, data
+
+
+def test_meso_vectorised_batch_query_throughput(benchmark, session_rng):
+    meso, data = _batch_memory(session_rng)
+    predictions = benchmark(meso.predict_batch, data)
+    assert len(predictions) == data.shape[0]
+
+
+def test_meso_scalar_query_throughput(benchmark, session_rng):
+    meso, data = _batch_memory(session_rng)
+    predictions = benchmark(lambda: [meso.predict(row) for row in data])
+    assert len(predictions) == data.shape[0]

@@ -78,6 +78,8 @@ from .pipeline import (
     AcousticPipeline,
     BuiltPipeline,
     ClassifyStage,
+    CorpusExecutionError,
+    CorpusExecutor,
     ExtractStage,
     FeatureStage,
     PipelineResult,
@@ -141,6 +143,8 @@ __all__ = [
     "ClipBuilder",
     "ClipCorpus",
     "ConfusionMatrix",
+    "CorpusExecutionError",
+    "CorpusExecutor",
     "CorpusSpec",
     "Ensemble",
     "EnsembleExtractor",

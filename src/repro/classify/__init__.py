@@ -4,7 +4,7 @@ from .confusion import ConfusionMatrix
 from .crossval import EvaluationItem, ExperimentResult, leave_one_out, resubstitution
 from .features import LabelledPattern, PatternExtractor
 from .metrics import AccuracySummary, accuracy, summarize
-from .voting import majority_vote, vote_ensemble
+from .voting import majority_vote, predict_patterns, vote_ensemble
 
 __all__ = [
     "AccuracySummary",
@@ -16,6 +16,7 @@ __all__ = [
     "accuracy",
     "leave_one_out",
     "majority_vote",
+    "predict_patterns",
     "resubstitution",
     "summarize",
     "vote_ensemble",

@@ -12,7 +12,7 @@ from typing import Hashable, Sequence
 
 import numpy as np
 
-__all__ = ["majority_vote", "vote_ensemble"]
+__all__ = ["majority_vote", "predict_patterns", "vote_ensemble"]
 
 
 def majority_vote(votes: Sequence[Hashable]) -> Hashable:
@@ -24,13 +24,26 @@ def majority_vote(votes: Sequence[Hashable]) -> Hashable:
     return best[0]
 
 
+def predict_patterns(classifier, patterns: Sequence[np.ndarray]) -> list[Hashable]:
+    """Predict a label per pattern, batched when the classifier supports it.
+
+    Classifiers exposing ``predict_batch`` (MESO's vectorised path) get all
+    patterns in one call; anything else falls back to per-pattern
+    ``predict``.  Both paths return the same labels in input order.
+    """
+    if len(patterns) == 0:
+        return []
+    if hasattr(classifier, "predict_batch"):
+        return list(classifier.predict_batch(patterns))
+    return [classifier.predict(pattern) for pattern in patterns]
+
+
 def vote_ensemble(classifier, patterns: Sequence[np.ndarray]) -> Hashable:
     """Classify every pattern of an ensemble and return the majority species.
 
     ``classifier`` is anything with a ``predict(pattern)`` method (MESO or a
-    baseline).
+    baseline); a ``predict_batch`` method is used when available.
     """
     if len(patterns) == 0:
         raise ValueError("ensemble has no patterns to vote with")
-    votes = [classifier.predict(pattern) for pattern in patterns]
-    return majority_vote(votes)
+    return majority_vote(predict_patterns(classifier, patterns))

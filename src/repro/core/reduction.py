@@ -48,7 +48,7 @@ class ReductionReport:
 
 
 def measure_reduction(
-    corpus: ClipCorpus, extractor
+    corpus: ClipCorpus, extractor, backend: str = "serial", workers: int | None = None
 ) -> tuple[ReductionReport, list]:
     """Extract every clip in ``corpus`` and report the aggregate reduction.
 
@@ -56,18 +56,24 @@ def measure_reduction(
     ``extract_clip`` is used) or a built
     :class:`~repro.pipeline.AcousticPipeline` (its ``run`` is used); both
     result types expose the ``ensembles`` / ``total_samples`` /
-    ``retained_samples`` accounting this report needs.
+    ``retained_samples`` accounting this report needs.  Pipelines can run
+    the corpus in parallel via ``backend`` / ``workers`` (see
+    :meth:`~repro.pipeline.BuiltPipeline.run_corpus`); the legacy extractor
+    is always serial.
     """
-    results: list = []
+    if hasattr(extractor, "run_corpus"):
+        results = extractor.run_corpus(corpus.clips, backend=backend, workers=workers)
+    else:
+        extract = (
+            extractor.extract_clip
+            if hasattr(extractor, "extract_clip")
+            else extractor.run
+        )
+        results = [extract(clip) for clip in corpus.clips]
     total = 0
     retained = 0
     count = 0
-    extract = (
-        extractor.extract_clip if hasattr(extractor, "extract_clip") else extractor.run
-    )
-    for clip in corpus.clips:
-        result = extract(clip)
-        results.append(result)
+    for result in results:
         total += result.total_samples
         retained += result.retained_samples
         count += len(result.ensembles)

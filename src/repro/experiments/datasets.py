@@ -144,21 +144,33 @@ def build_experiment_data(
     scale: ExperimentScale = BENCH_SCALE,
     config: ExtractionConfig = FAST_EXTRACTION,
     hop: int = 16,
+    backend: str = "serial",
+    workers: int | None = None,
 ) -> ExperimentData:
-    """Generate the corpus, extract ensembles and build all four data sets."""
+    """Generate the corpus, extract ensembles and build all four data sets.
+
+    ``backend`` / ``workers`` select how the per-clip extraction runs (see
+    :meth:`~repro.pipeline.BuiltPipeline.run_corpus`); every backend yields
+    bit-identical ensembles, so the tables do not depend on the choice.
+    """
     if scale.corpus.sample_rate != config.sample_rate:
         config = replace(config, sample_rate=scale.corpus.sample_rate)
     corpus = build_corpus(scale.corpus)
     # Global normalisation reproduces the legacy whole-clip batch semantics
     # exactly, keeping the table values identical across API generations.
+    # keep_traces=False: only the ensembles and the sample accounting are
+    # used here, so per-sample score/trigger traces would be dead weight
+    # held for the whole corpus (and pickled back from process workers).
     pipeline = (
-        AcousticPipeline().extract(config, hop=hop, normalization="global").build()
+        AcousticPipeline()
+        .extract(config, hop=hop, normalization="global", keep_traces=False)
+        .build()
     )
+    results = pipeline.run_corpus(corpus.clips, backend=backend, workers=workers)
     ensembles: list[Ensemble] = []
     total = 0
     retained = 0
-    for clip, label in zip(corpus.clips, corpus.labels):
-        result = pipeline.run(clip)
+    for clip, result in zip(corpus.clips, results):
         total += result.total_samples
         retained += result.retained_samples
         ensembles.extend(result.labelled(clip))

@@ -52,6 +52,8 @@ def build_reduction(
     corpus: ClipCorpus | None = None,
     config: ExtractionConfig = FAST_EXTRACTION,
     corpus_spec: CorpusSpec | None = None,
+    backend: str = "serial",
+    workers: int | None = None,
 ) -> ReductionComparison:
     """Measure data reduction over a corpus for extraction and the baseline."""
     if corpus is None:
@@ -60,7 +62,7 @@ def build_reduction(
             or CorpusSpec(clips_per_species=2, songs_per_clip=2, clip_duration=15.0, sample_rate=16000)
         )
     pipeline = AcousticPipeline().extract(config, normalization="global").build()
-    report, _ = measure_reduction(corpus, pipeline)
+    report, _ = measure_reduction(corpus, pipeline, backend=backend, workers=workers)
     segmenter = EnergySegmenter(min_duration=config.trigger.min_duration)
     baseline_retained = 0
     for clip in corpus.clips:

@@ -52,10 +52,17 @@ def build_table2(
     scale: ExperimentScale = BENCH_SCALE,
     classifier_factory=default_classifier_factory,
     datasets: tuple[str, ...] = DATASET_NAMES,
+    backend: str = "serial",
+    workers: int | None = None,
 ) -> list[Table2Row]:
-    """Run the Table 2 experiments and return the rows."""
+    """Run the Table 2 experiments and return the rows.
+
+    ``backend`` / ``workers`` parallelise the per-clip extraction behind
+    the data sets (bit-identical across backends); the cross-validation
+    loops themselves stay serial because MESO training is order-dependent.
+    """
     if data is None:
-        data = build_experiment_data(scale)
+        data = build_experiment_data(scale, backend=backend, workers=workers)
     rows: list[Table2Row] = []
     for name in datasets:
         items = data.dataset(name)

@@ -8,7 +8,10 @@ once with the fluent :class:`AcousticPipeline` builder and then executed
   array, a decoded :class:`~repro.dsp.wav.WavClip` or a WAV file path
   (``BuiltPipeline.run``),
 * **streaming** over an unbounded iterator of chunks with carry-over state
-  across chunk boundaries (``BuiltPipeline.extract_stream``), or
+  across chunk boundaries (``BuiltPipeline.extract_stream``),
+* **parallel** over a whole corpus of independent sources with serial,
+  thread or process backends (``BuiltPipeline.run_corpus`` /
+  :class:`CorpusExecutor`), or
 * **distributed** as Dynamic River record operators compiled from the same
   stages (``to_river()``).
 
@@ -35,6 +38,7 @@ Quickstart::
 """
 
 from .builder import AcousticPipeline, BuiltPipeline, PipelineBuildError
+from .executor import BACKENDS, CorpusExecutionError, CorpusExecutor
 from .registry import STAGES, StageRegistry
 from .results import (
     ClassifiedEvent,
@@ -61,12 +65,15 @@ from .streaming import ChunkedAnomalyScorer, ChunkedCutter, RunningNormalizer
 
 __all__ = [
     "AcousticPipeline",
+    "BACKENDS",
     "BatchOnlyStageError",
     "BuiltPipeline",
     "ChunkedAnomalyScorer",
     "ChunkedCutter",
     "ClassifiedEvent",
     "ClassifyStage",
+    "CorpusExecutionError",
+    "CorpusExecutor",
     "EnsembleEvent",
     "EnsembleStageOperator",
     "ExtractStage",

@@ -175,6 +175,25 @@ class AcousticPipeline:
         """Instantiate the stage graph into an executable pipeline."""
         return BuiltPipeline(self.instantiate(), spec=self)
 
+    def run_corpus(
+        self,
+        corpus,
+        *,
+        backend: str = "serial",
+        workers: int | None = None,
+        sample_rate: int | None = None,
+    ):
+        """Run this spec over a corpus (see :meth:`BuiltPipeline.run_corpus`).
+
+        The executor instantiates stages per worker from the spec, so no
+        eager :meth:`build` is needed here.
+        """
+        from .executor import CorpusExecutor
+
+        return CorpusExecutor(self, backend=backend, workers=workers).run(
+            corpus, sample_rate=sample_rate
+        )
+
     def to_river(self, name: str = "acoustic-pipeline"):
         """Compile the stage graph into a Dynamic River operator pipeline."""
         from .river_adapter import compile_to_river
@@ -250,6 +269,29 @@ class BuiltPipeline:
             total_samples=total,
             anomaly_scores=scores,
             trigger=trigger,
+        )
+
+    def run_corpus(
+        self,
+        corpus,
+        *,
+        backend: str = "serial",
+        workers: int | None = None,
+        sample_rate: int | None = None,
+    ) -> list[PipelineResult]:
+        """Run the pipeline over every item of a corpus, in corpus order.
+
+        ``corpus`` is a sequence of independent sources — clips, raw sample
+        arrays, WAV paths — or an object with a ``clips`` attribute such as
+        :class:`~repro.synth.dataset.ClipCorpus`.  ``backend`` selects how
+        items are executed: ``"serial"`` (the reference), ``"thread"`` or
+        ``"process"``; all backends return bit-identical results (see
+        :class:`~repro.pipeline.executor.CorpusExecutor`).
+        """
+        from .executor import CorpusExecutor
+
+        return CorpusExecutor(self, backend=backend, workers=workers).run(
+            corpus, sample_rate=sample_rate
         )
 
     def extract_stream(

@@ -1,0 +1,266 @@
+"""Parallel execution of a stage graph over a corpus of clips.
+
+The :class:`CorpusExecutor` runs a built pipeline over many independent
+sources (clips, raw arrays, WAV paths) with pluggable backends:
+
+* ``"serial"`` — one pipeline instance, items processed in order (the
+  reference semantics every other backend must match bit-for-bit);
+* ``"thread"`` — a thread pool; each worker thread instantiates its own
+  stage graph from the pipeline's spec, so stage state is never shared;
+* ``"process"`` — a process pool; the pipeline *spec* (stage names +
+  kwargs, which the registry model keeps serialisable-by-construction) is
+  pickled once, each worker re-instantiates the stages, and results are
+  pickled back.
+
+Results are always returned in corpus order regardless of completion
+order, so ``run_corpus(backend="process", workers=8)`` is a drop-in
+replacement for a serial loop.  Per-item failures are wrapped in
+:class:`CorpusExecutionError` carrying the failing item's index and a
+description of its source; worker errors are caught inside the worker and
+shipped back as data, so a raising stage can never deadlock the pool.
+
+The classify stage holds a live classifier object.  Thread workers share
+it (MESO queries are read-only apart from timing counters); process
+workers each receive a pickled copy, so classifier ``stats`` accumulated
+in workers are not reflected in the parent's instance.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import traceback
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from .builder import AcousticPipeline, BuiltPipeline, PipelineBuildError
+from .results import PipelineResult
+
+__all__ = ["CorpusExecutor", "CorpusExecutionError", "BACKENDS"]
+
+#: The recognised execution backends, in increasing order of isolation.
+BACKENDS = ("serial", "thread", "process")
+
+
+class CorpusExecutionError(RuntimeError):
+    """A pipeline stage raised while processing one item of a corpus.
+
+    ``index`` is the position of the failing item within the corpus and
+    ``source`` a short description of it (the WAV path, the clip's station
+    id, ...).  ``worker_traceback`` carries the traceback formatted inside
+    a process worker, where the original exception object may not survive
+    pickling.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        index: int | None = None,
+        source: str | None = None,
+        worker_traceback: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.source = source
+        self.worker_traceback = worker_traceback
+
+
+def describe_source(item) -> str:
+    """A short human-readable description of one corpus item."""
+    if isinstance(item, (str, Path)):
+        return str(item)
+    name = type(item).__name__
+    station = getattr(item, "station_id", None)
+    if station:
+        return f"{name}(station_id={station!r})"
+    samples = getattr(item, "samples", item if isinstance(item, np.ndarray) else None)
+    if isinstance(samples, np.ndarray):
+        return f"{name}[{samples.size} samples]"
+    return name
+
+
+# -- process-backend worker plumbing ------------------------------------------
+#
+# The worker builds its pipeline once per process (initializer) and reuses
+# it for every item; stages reset themselves at the start of each run.
+# Errors are returned as data, never raised, so the pool cannot be broken
+# by an exception that fails to pickle.
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(payload: bytes) -> None:
+    _WORKER_STATE["pipeline"] = pickle.loads(payload).build()
+
+
+def _worker_run(index: int, item, sample_rate: int | None):
+    try:
+        result = _WORKER_STATE["pipeline"].run(item, sample_rate=sample_rate)
+        return index, result, None
+    except BaseException as exc:  # noqa: BLE001 - shipped back, re-raised in parent
+        return index, None, (f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+class CorpusExecutor:
+    """Run a built stage graph over a corpus with a pluggable backend."""
+
+    def __init__(
+        self,
+        pipeline: AcousticPipeline | BuiltPipeline,
+        backend: str = "serial",
+        workers: int | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {', '.join(BACKENDS)}; got {backend!r}"
+            )
+        if isinstance(pipeline, AcousticPipeline):
+            self.builder: AcousticPipeline | None = pipeline
+            self._pipeline: BuiltPipeline | None = None
+        elif isinstance(pipeline, BuiltPipeline):
+            self.builder = pipeline.spec
+            self._pipeline = pipeline
+        else:
+            raise TypeError(
+                "pipeline must be an AcousticPipeline or BuiltPipeline, "
+                f"got {type(pipeline).__name__}"
+            )
+        if backend != "serial" and self.builder is None:
+            raise PipelineBuildError(
+                f"the {backend!r} backend re-instantiates stages from the "
+                "pipeline spec, but this pipeline was built without one; "
+                "build it via AcousticPipeline.build()"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.backend = backend
+        self.workers = workers or (1 if backend == "serial" else (os.cpu_count() or 1))
+
+    # -- public API -----------------------------------------------------------
+
+    def run(
+        self, corpus, sample_rate: int | None = None
+    ) -> list[PipelineResult]:
+        """Run the pipeline over every item of ``corpus``, in corpus order.
+
+        ``corpus`` is a sequence of anything :meth:`BuiltPipeline.run`
+        accepts as a single source (clips, arrays, WAV paths), or an object
+        with a ``clips`` attribute such as
+        :class:`~repro.synth.dataset.ClipCorpus`.
+        """
+        items = self._coerce_corpus(corpus)
+        if not items:
+            return []
+        if self.backend == "serial":
+            return self._run_serial(items, sample_rate)
+        if self.backend == "thread":
+            return self._run_thread(items, sample_rate)
+        return self._run_process(items, sample_rate)
+
+    # -- backends -------------------------------------------------------------
+
+    def _run_serial(self, items: list, sample_rate: int | None) -> list[PipelineResult]:
+        pipeline = self._pipeline or self.builder.build()
+        results: list[PipelineResult] = []
+        for index, item in enumerate(items):
+            results.append(self._run_one(pipeline, index, item, sample_rate))
+        return results
+
+    def _run_thread(self, items: list, sample_rate: int | None) -> list[PipelineResult]:
+        # One stage graph per worker thread: stages are stateful, so they
+        # must never be shared, but rebuilding per item would waste work.
+        local = threading.local()
+
+        def task(index: int, item) -> PipelineResult:
+            pipeline = getattr(local, "pipeline", None)
+            if pipeline is None:
+                pipeline = self.builder.build()
+                local.pipeline = pipeline
+            return self._run_one(pipeline, index, item, sample_rate)
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return self._gather(pool, task, items)
+
+    def _run_process(self, items: list, sample_rate: int | None) -> list[PipelineResult]:
+        try:
+            payload = pickle.dumps(self.builder)
+        except Exception as exc:
+            raise CorpusExecutionError(
+                "the process backend pickles the pipeline spec to the "
+                f"workers, but this spec is not picklable: {exc}"
+            ) from exc
+        workers = min(self.workers, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init, initargs=(payload,)
+        ) as pool:
+            futures = [
+                pool.submit(_worker_run, index, item, sample_rate)
+                for index, item in enumerate(items)
+            ]
+            results: list[PipelineResult | None] = [None] * len(items)
+            for position, future in enumerate(futures):
+                try:
+                    index, result, error = future.result()
+                except Exception as exc:
+                    # Worker-side stage errors come back as data; anything
+                    # raised here is pool infrastructure — most commonly an
+                    # unpicklable corpus item, whose error lands on exactly
+                    # this future.  Honour the index/source contract anyway.
+                    source = describe_source(items[position])
+                    raise CorpusExecutionError(
+                        f"pipeline failed on corpus item {position} ({source}): "
+                        f"{type(exc).__name__}: {exc}",
+                        index=position,
+                        source=source,
+                    ) from exc
+                if error is not None:
+                    message, worker_tb = error
+                    source = describe_source(items[index])
+                    raise CorpusExecutionError(
+                        f"pipeline failed on corpus item {index} ({source}): "
+                        f"{message}\n--- worker traceback ---\n{worker_tb}",
+                        index=index,
+                        source=source,
+                        worker_traceback=worker_tb,
+                    )
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _run_one(
+        self, pipeline: BuiltPipeline, index: int, item, sample_rate: int | None
+    ) -> PipelineResult:
+        try:
+            return pipeline.run(item, sample_rate=sample_rate)
+        except CorpusExecutionError:
+            raise
+        except Exception as exc:
+            source = describe_source(item)
+            raise CorpusExecutionError(
+                f"pipeline failed on corpus item {index} ({source}): "
+                f"{type(exc).__name__}: {exc}",
+                index=index,
+                source=source,
+            ) from exc
+
+    def _gather(self, pool: Executor, task, items: list) -> list[PipelineResult]:
+        futures = [pool.submit(task, index, item) for index, item in enumerate(items)]
+        # Collect in submission (= corpus) order; the first failure wins and
+        # the context manager drains the rest on exit.
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _coerce_corpus(corpus) -> list:
+        clips = getattr(corpus, "clips", None)
+        if clips is not None:
+            return list(clips)
+        if isinstance(corpus, (str, Path, np.ndarray)):
+            raise TypeError(
+                "corpus must be a sequence of sources, not a single source; "
+                "wrap it in a list or call BuiltPipeline.run instead"
+            )
+        return list(corpus)

@@ -24,7 +24,7 @@ from typing import Hashable
 import numpy as np
 
 from ..classify.features import PatternExtractor
-from ..classify.voting import majority_vote
+from ..classify.voting import majority_vote, predict_patterns
 from ..config import ExtractionConfig, FeatureConfig
 from ..core.anomaly import sax_anomaly_scores
 from ..core.cutter import cut_ensembles
@@ -260,7 +260,7 @@ class ClassifyStage(Stage):
         if not isinstance(event, FeaturesEvent):
             return [event]
         votes: Counter[Hashable] = Counter(
-            self.classifier.predict(pattern) for pattern in event.patterns
+            predict_patterns(self.classifier, event.patterns)
         )
         label = majority_vote(list(votes.elements())) if votes else None
         return [

@@ -235,6 +235,78 @@ class TestMesoClassifier:
         assert min(accuracies) > 0.9
 
 
+class TestVectorisedBatchQueries:
+    """predict_batch's vectorised path must match scalar predict exactly."""
+
+    def test_predict_batch_equals_scalar_predict_on_random_corpora(self):
+        # Seeded-random property loop over corpora of varying dimension,
+        # label count and size: the equivalence is exact, not approximate.
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            dimension = int(rng.integers(2, 40))
+            n_labels = int(rng.integers(2, 6))
+            centers = rng.normal(scale=5.0, size=(n_labels, dimension))
+            patterns, labels = gaussian_blobs(rng, centers, points_per_blob=20)
+            meso = MesoClassifier()
+            meso.fit(patterns, labels)
+            queries = rng.normal(scale=4.0, size=(int(rng.integers(1, 300)), dimension))
+            assert meso.predict_batch(queries) == [meso.predict(q) for q in queries]
+
+    def test_query_batch_returns_the_scalar_query_spheres(self, rng):
+        patterns, labels = gaussian_blobs(rng, [(0, 0), (4, 4), (-4, 4)])
+        meso = MesoClassifier()
+        meso.fit(patterns, labels)
+        queries = rng.normal(scale=3.0, size=(40, 2))
+        batch = meso.query_batch(queries)
+        assert all(a is b for a, b in zip(batch, [meso.query(q) for q in queries]))
+
+    def test_batch_crosses_the_block_boundary(self, rng):
+        # More queries than _BATCH_BLOCK: blocking must not change results.
+        patterns, labels = gaussian_blobs(rng, [(0, 0), (5, 5)])
+        meso = MesoClassifier()
+        meso.fit(patterns, labels)
+        queries = rng.normal(scale=4.0, size=(MesoClassifier._BATCH_BLOCK + 37, 2))
+        assert meso.predict_batch(queries) == [meso.predict(q) for q in queries]
+
+    def test_batch_equals_scalar_through_the_sphere_tree(self, rng):
+        patterns, labels = gaussian_blobs(rng, [(0, 0), (5, 5), (0, 5)], points_per_blob=25)
+        meso = MesoClassifier(MesoConfig(tree_threshold=1))
+        meso.fit(patterns, labels)
+        queries = rng.normal(scale=3.0, size=(30, 2))
+        assert meso.predict_batch(queries) == [meso.predict(q) for q in queries]
+
+    def test_batch_list_of_vectors_accepted(self, rng):
+        patterns, labels = gaussian_blobs(rng, [(0, 0), (3, 3)])
+        meso = MesoClassifier()
+        meso.fit(patterns, labels)
+        queries = [rng.normal(size=2) for _ in range(7)]
+        assert meso.predict_batch(queries) == [meso.predict(q) for q in queries]
+
+    def test_empty_batch_returns_empty(self, rng):
+        meso = MesoClassifier()
+        meso.partial_fit(np.zeros(2), "a")
+        assert meso.predict_batch([]) == []
+        assert meso.query_batch([]) == []
+        assert meso.stats.patterns_tested == 0
+
+    def test_batch_dimension_mismatch_raises(self):
+        meso = MesoClassifier()
+        meso.partial_fit(np.zeros(4), "a")
+        with pytest.raises(ValueError, match="features"):
+            meso.predict_batch(np.zeros((3, 5)))
+
+    def test_batch_on_empty_memory_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            MesoClassifier().predict_batch(np.zeros((2, 3)))
+
+    def test_batch_counts_every_query_in_stats(self, rng):
+        patterns, labels = gaussian_blobs(rng, [(0, 0), (2, 2)], points_per_blob=10)
+        meso = MesoClassifier()
+        meso.fit(patterns, labels)
+        meso.predict_batch(rng.normal(size=(9, 2)))
+        assert meso.stats.patterns_tested == 9
+
+
 class TestMetricRegistry:
     def test_known_metrics(self):
         assert get_metric("euclidean")(np.zeros(2), np.array([3.0, 4.0])) == pytest.approx(5.0)
