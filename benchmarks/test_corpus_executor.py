@@ -4,7 +4,9 @@ Serial vs process-pool execution of the same extraction graph over the
 same corpus, so the BENCH trajectory records the executor's speed-up (or
 its overhead on corpora too small to amortise worker start-up), plus the
 vectorised vs scalar MESO batch-query comparison that the executor's
-classify stage relies on.
+classify stage relies on, and the linear vs fan-out river-graph
+comparison (the fan-out engine overhead when replicas share one process;
+the win appears once replicas live on separate hosts).
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import numpy as np
 import pytest
 
 from repro import FAST_EXTRACTION, MesoClassifier
-from repro.pipeline import AcousticPipeline
+from repro.pipeline import AcousticPipeline, run_clips_via_river
 
 
 @pytest.fixture(scope="module")
@@ -55,6 +57,30 @@ def test_run_corpus_thread_throughput(benchmark, bench_corpus, executor_builder)
         iterations=1,
     )
     assert len(results) == len(bench_corpus.clips)
+
+
+@pytest.fixture(scope="module")
+def river_builder():
+    """Extract + features: the smallest graph with a fan-out-able stage."""
+    return AcousticPipeline().extract(FAST_EXTRACTION, keep_traces=False).features()
+
+
+def test_river_linear_throughput(benchmark, bench_corpus, river_builder):
+    results = benchmark.pedantic(
+        lambda: run_clips_via_river(river_builder, bench_corpus.clips),
+        rounds=1,
+        iterations=1,
+    )
+    assert results.ensembles
+
+
+def test_river_fan_out_throughput(benchmark, bench_corpus, river_builder):
+    results = benchmark.pedantic(
+        lambda: run_clips_via_river(river_builder, bench_corpus.clips, fan_out=4),
+        rounds=1,
+        iterations=1,
+    )
+    assert results.ensembles
 
 
 def _batch_memory(rng, patterns=600, dim=105, classes=10):

@@ -9,7 +9,11 @@ the paper highlights as Dynamic River's advantages:
 * **dynamic recomposition** — an overloaded segment is relocated to a faster
   host mid-run, guided by the QoS monitor, without corrupting the stream;
 * **fault resilience** — a host failure mid-clip is repaired downstream with
-  BadCloseScope records so every scope stays balanced.
+  BadCloseScope records so every scope stays balanced;
+* **per-stage fan-out** — ``to_river(fan_out=2)`` compiles two feature
+  replicas behind a deterministic partition/merge pair, the
+  ``StationScheduler`` spreads them over distinct hosts, and the merged
+  output is bit-identical to the linear graph.
 
 Run with:  python examples/distributed_pipeline.py
 """
@@ -19,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import AcousticPipeline, FAST_EXTRACTION, MesoClassifier
-from repro.pipeline import collect_result
+from repro.pipeline import collect_result, run_clips_via_river
 from repro.river import (
     Deployment,
     Host,
@@ -27,7 +31,9 @@ from repro.river import (
     PipelineSegment,
     QoSMonitor,
     QueueChannel,
+    StationScheduler,
     scope_repair_summary,
+    split_into_segments,
     validate_stream,
 )
 from repro.river.operators import ClipSource
@@ -123,11 +129,57 @@ def run_scenario(fail_relay: bool) -> None:
     print()
 
 
+def run_fanout_scenario() -> None:
+    rng = np.random.default_rng(11)
+    clips = build_clips(4, rng)
+    for index, clip in enumerate(clips):
+        clip.station_id = f"pole-{index % 2}"  # two stations feed the graph
+    pipeline = build_pipeline(rng)
+
+    deployment = Deployment(batch_size=8)
+    deployment.add_host(Host("field-node", speed=300.0))
+    deployment.add_host(Host("relay", speed=800.0))
+    deployment.add_host(Host("observatory", speed=4000.0))
+
+    # One segment per operator: extract, partition, two feature replicas,
+    # merge, classify — replicas get their own hosts.
+    segments = split_into_segments(pipeline.to_river(fan_out={"features": 2}))
+    scheduler = StationScheduler.for_deployment(deployment)
+    replicas = [s for s in segments if "-stage-r" in s.name]
+    scheduler.spread_replicas(deployment, replicas, group="features")
+    for segment in segments:
+        if segment not in replicas:
+            deployment.place(segment, scheduler.host_for(segment.name))
+    for name, host in sorted(deployment.placement.items()):
+        print(f"  placed {name:<22} on {host}")
+
+    for record in ClipSource(clips, record_size=4096).generate():
+        segments[0].input_channel.put(record)
+    deployment.run(monitor=QoSMonitor(backlog_threshold=64), rebalance=True)
+
+    outputs = list(segments[-1].drain_output())
+    fanned = collect_result(outputs, sample_rate=SAMPLE_RATE)
+    linear = run_clips_via_river(pipeline, clips, record_size=4096)
+    identical = len(fanned.ensembles) == len(linear.ensembles) and all(
+        a.start == b.start
+        and a.end == b.end
+        and np.array_equal(a.samples, b.samples)
+        for a, b in zip(fanned.ensembles, linear.ensembles)
+    )
+    print(f"  ensembles delivered: {len(fanned.ensembles)} "
+          f"(labels: {sorted(set(l for l in fanned.labels if l)) or '-'})")
+    print(f"  stream validates: {validate_stream(outputs, strict=False) == []}")
+    print(f"  fan-out output bit-identical to the linear graph: {identical}")
+    print()
+
+
 def main() -> None:
     print("=== scenario 1: QoS-driven recomposition (no failures) ===")
     run_scenario(fail_relay=False)
     print("=== scenario 2: host failure mid-stream, scope repair downstream ===")
     run_scenario(fail_relay=True)
+    print("=== scenario 3: per-stage fan-out placed by the StationScheduler ===")
+    run_fanout_scenario()
 
 
 if __name__ == "__main__":

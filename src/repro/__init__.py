@@ -77,6 +77,7 @@ from .meso import MesoClassifier, MesoConfig, SensitivitySphere, SphereTree
 from .pipeline import (
     AcousticPipeline,
     BuiltPipeline,
+    ChunkSourceError,
     ClassifyStage,
     CorpusExecutionError,
     CorpusExecutor,
@@ -84,8 +85,10 @@ from .pipeline import (
     FeatureStage,
     PipelineResult,
     STAGES,
+    SocketChunkSource,
     Stage,
     StageRegistry,
+    WavDirectorySource,
 )
 from .synth import (
     SPECIES,
@@ -139,6 +142,7 @@ __all__ = [
     "AdaptiveTrigger",
     "AnomalyConfig",
     "BuiltPipeline",
+    "ChunkSourceError",
     "ClassifyStage",
     "ClipBuilder",
     "ClipCorpus",
@@ -167,12 +171,14 @@ __all__ = [
     "STAGES",
     "SaxAnomalyScorer",
     "SensitivitySphere",
+    "SocketChunkSource",
     "SphereTree",
     "SpeciesModel",
     "Stage",
     "StageRegistry",
     "StreamingCutter",
     "TriggerConfig",
+    "WavDirectorySource",
     "build_corpus",
     "cut_ensembles",
     "get_species",

@@ -14,7 +14,15 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["WavClip", "write_wav", "read_wav", "samples_to_pcm16", "pcm16_to_samples"]
+__all__ = [
+    "WavClip",
+    "WavInfo",
+    "write_wav",
+    "read_wav",
+    "wav_info",
+    "samples_to_pcm16",
+    "pcm16_to_samples",
+]
 
 
 @dataclass(frozen=True)
@@ -79,6 +87,64 @@ def write_wav(path: str | Path, samples: np.ndarray, sample_rate: int) -> None:
     with open(path, "wb") as handle:
         handle.write(header)
         handle.write(data)
+
+
+@dataclass(frozen=True)
+class WavInfo:
+    """Header facts of a WAV file, located without decoding its audio."""
+
+    sample_rate: int
+    channels: int
+    #: Byte offset of the first PCM sample within the file.
+    data_offset: int
+    #: Length of the PCM data in bytes.
+    data_bytes: int
+
+    @property
+    def frames(self) -> int:
+        """Number of sample frames in the data chunk."""
+        return self.data_bytes // (2 * self.channels)
+
+
+def wav_info(path: str | Path) -> WavInfo:
+    """Parse a 16-bit PCM WAV header and locate its data chunk.
+
+    Unlike :func:`read_wav` this never loads the audio, so streaming chunk
+    sources can open arbitrarily large recordings with bounded memory and
+    then read the data region incrementally.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(12)
+        if len(head) < 12 or head[:4] != b"RIFF" or head[8:12] != b"WAVE":
+            raise ValueError(f"{path}: not a RIFF/WAVE file")
+        fmt: tuple | None = None
+        offset = 12
+        while True:
+            handle.seek(offset)
+            chunk_head = handle.read(8)
+            if len(chunk_head) < 8:
+                break
+            chunk_id = chunk_head[:4]
+            (chunk_size,) = struct.unpack("<I", chunk_head[4:8])
+            if chunk_id == b"fmt ":
+                fmt = struct.unpack("<HHIIHH", handle.read(16)[:16])
+            elif chunk_id == b"data":
+                if fmt is None:
+                    raise ValueError(f"{path}: data chunk precedes fmt chunk")
+                audio_format, channels, sample_rate, _rate, _align, bits = fmt
+                if audio_format != 1 or bits != 16:
+                    raise ValueError(
+                        f"{path}: only 16-bit PCM is supported "
+                        f"(format={audio_format}, bits={bits})"
+                    )
+                return WavInfo(
+                    sample_rate=int(sample_rate),
+                    channels=int(channels),
+                    data_offset=offset + 8,
+                    data_bytes=int(chunk_size),
+                )
+            offset += 8 + chunk_size + (chunk_size % 2)
+    raise ValueError(f"{path}: missing fmt or data chunk")
 
 
 def read_wav(path: str | Path) -> WavClip:

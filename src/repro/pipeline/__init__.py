@@ -49,10 +49,18 @@ from .results import (
     SignalChunk,
 )
 from .river_adapter import (
+    EnsembleMergeOperator,
+    EnsemblePartitionOperator,
     EnsembleStageOperator,
     ExtractStageOperator,
     collect_result,
     run_clips_via_river,
+)
+from .sources import (
+    ChunkSourceError,
+    SocketChunkSource,
+    WavChunkStream,
+    WavDirectorySource,
 )
 from .stages import (
     BatchOnlyStageError,
@@ -61,13 +69,14 @@ from .stages import (
     FeatureStage,
     Stage,
 )
-from .streaming import ChunkedAnomalyScorer, ChunkedCutter, RunningNormalizer
+from .streaming import ChunkedAnomalyScorer, ChunkedCutter, RunningNormalizer, rechunk
 
 __all__ = [
     "AcousticPipeline",
     "BACKENDS",
     "BatchOnlyStageError",
     "BuiltPipeline",
+    "ChunkSourceError",
     "ChunkedAnomalyScorer",
     "ChunkedCutter",
     "ClassifiedEvent",
@@ -75,6 +84,8 @@ __all__ = [
     "CorpusExecutionError",
     "CorpusExecutor",
     "EnsembleEvent",
+    "EnsembleMergeOperator",
+    "EnsemblePartitionOperator",
     "EnsembleStageOperator",
     "ExtractStage",
     "ExtractStageOperator",
@@ -86,8 +97,12 @@ __all__ = [
     "RunningNormalizer",
     "STAGES",
     "SignalChunk",
+    "SocketChunkSource",
     "Stage",
     "StageRegistry",
+    "WavChunkStream",
+    "WavDirectorySource",
     "collect_result",
+    "rechunk",
     "run_clips_via_river",
 ]

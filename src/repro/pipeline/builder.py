@@ -134,17 +134,22 @@ class AcousticPipeline:
             if names.index("classify") < names.index("features"):
                 raise PipelineBuildError("classify must come after features")
 
-    def instantiate(self, **overrides) -> list[Stage]:
+    def instantiate(self, only=None, **overrides) -> list[Stage]:
         """Create fresh stage instances from the declared specs.
 
         ``overrides`` are merged into the kwargs of every stage whose
         factory accepts them by name (used by the Dynamic River adapter to
         disable trace accumulation on unbounded streams); explicitly
-        declared kwargs always win.
+        declared kwargs always win.  ``only`` restricts instantiation to
+        the given spec indices (in spec order) — the fan-out compiler uses
+        it to build spare replicas of just the fanned stages instead of
+        whole throwaway graphs.
         """
         self._validate()
         stages: list[Stage] = []
-        for name, kwargs in self._specs:
+        for index, (name, kwargs) in enumerate(self._specs):
+            if only is not None and index not in only:
+                continue
             merged = dict(kwargs)
             accepted = self._accepted_parameters(self.registry.factory(name))
             for key, value in overrides.items():
@@ -194,11 +199,26 @@ class AcousticPipeline:
             corpus, sample_rate=sample_rate
         )
 
-    def to_river(self, name: str = "acoustic-pipeline"):
-        """Compile the stage graph into a Dynamic River operator pipeline."""
+    def to_river(
+        self,
+        name: str = "acoustic-pipeline",
+        fan_out: int | dict[str, int] = 1,
+        partition: str = "station",
+    ):
+        """Compile the stage graph into a Dynamic River operator pipeline.
+
+        ``fan_out`` > 1 compiles each per-ensemble stage (features,
+        classify, plugins) into that many parallel replicas behind a
+        deterministic partition/merge pair; ``partition`` chooses how
+        ensembles are routed to replicas (``"station"`` keys on the
+        recording station so each station's ensembles share an operator
+        instance, ``"roundrobin"`` cycles).  The merged output is
+        bit-identical to the linear ``fan_out=1`` graph — fan-out changes
+        where work runs, never what it produces.
+        """
         from .river_adapter import compile_to_river
 
-        return compile_to_river(self, name=name)
+        return compile_to_river(self, name=name, fan_out=fan_out, partition=partition)
 
 
 class BuiltPipeline:
@@ -240,13 +260,18 @@ class BuiltPipeline:
             stage.start(self.default_sample_rate)
         return stage.patterns_for(samples)
 
-    def to_river(self, name: str = "acoustic-pipeline"):
+    def to_river(
+        self,
+        name: str = "acoustic-pipeline",
+        fan_out: int | dict[str, int] = 1,
+        partition: str = "station",
+    ):
         """Compile this pipeline's stage graph for Dynamic River."""
         if self.spec is None:
             raise PipelineBuildError(
                 "this pipeline was built without a spec; use AcousticPipeline.to_river"
             )
-        return self.spec.to_river(name=name)
+        return self.spec.to_river(name=name, fan_out=fan_out, partition=partition)
 
     # -- execution -------------------------------------------------------------
 
@@ -323,9 +348,12 @@ class BuiltPipeline:
         if isinstance(source, (str, Path)):
             wav = read_wav(source)
             return [self._mono(wav.samples)], int(wav.sample_rate)
-        rate = int(sample_rate or self.default_sample_rate)
         if isinstance(source, np.ndarray):
-            return [source], rate
+            return [source], int(sample_rate or self.default_sample_rate)
+        # Chunk sources such as repro.pipeline.sources.WavChunkStream carry
+        # their own rate; an explicit sample_rate argument still wins.
+        own_rate = getattr(source, "sample_rate", None)
+        rate = int(sample_rate or own_rate or self.default_sample_rate)
         # Mappings and raw byte blobs are technically iterable but never a
         # chunk stream; rejecting them here gives a clear TypeError instead
         # of a numpy conversion error deep inside the first stage.

@@ -76,6 +76,10 @@ def describe_source(item) -> str:
     station = getattr(item, "station_id", None)
     if station:
         return f"{name}(station_id={station!r})"
+    # File-backed chunk streams (e.g. WavChunkStream) identify by their path.
+    path = getattr(item, "path", None)
+    if isinstance(path, (str, Path)):
+        return f"{name}({path})"
     samples = getattr(item, "samples", item if isinstance(item, np.ndarray) else None)
     if isinstance(samples, np.ndarray):
         return f"{name}[{samples.size} samples]"

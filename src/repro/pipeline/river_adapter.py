@@ -13,6 +13,24 @@ wrappers only translate between records and events:
   rebuilds the event it encodes, passes it through the wrapped stage
   (features, classify or any plugin) and re-emits the enriched scope.
 
+Per-stage **fan-out** (``to_river(fan_out=k)``) compiles k replicas of a
+per-ensemble stage behind a deterministic partition/merge pair::
+
+    ... -> EnsemblePartitionOperator -> replica 0 -> ... -> replica k-1
+        -> EnsembleMergeOperator -> ...
+
+:class:`EnsemblePartitionOperator` tags each ensemble scope with the replica
+that must process it (stable-hashed from the station that recorded the clip,
+so one station's ensembles always flow through the same operator instance)
+plus a monotonically increasing ordinal; every replica consumes exactly the
+scopes addressed to it and passes the rest through untouched; and
+:class:`EnsembleMergeOperator` strips the routing tags and re-emits the
+scopes in ordinal — i.e. corpus — order.  Because the replica chain is a
+plain linear operator sequence, it can be cut into
+:class:`~repro.river.pipeline.PipelineSegment`\\ s (one replica per host)
+and scheduled by :class:`~repro.river.placement.StationScheduler` like any
+other Dynamic River pipeline.
+
 Because the streaming engine is chunk-invariant, record boundaries do not
 affect the output: running a clip through the compiled river pipeline yields
 exactly the ensembles, patterns and labels of a batch ``run()`` over the
@@ -29,6 +47,7 @@ import numpy as np
 from ..river.operator_base import Operator
 from ..river.operators.io_ops import ClipSource
 from ..river.pipeline import Pipeline as RiverPipeline
+from ..river.placement import station_hash
 from ..river.records import (
     Record,
     ScopeType,
@@ -52,11 +71,20 @@ from .stages import ExtractStage, Stage
 __all__ = [
     "ExtractStageOperator",
     "EnsembleStageOperator",
+    "EnsemblePartitionOperator",
+    "EnsembleMergeOperator",
     "compile_to_river",
     "collect_result",
     "decode_ensemble_scope",
     "run_clips_via_river",
 ]
+
+#: Context keys carrying fan-out routing metadata through a replica chain.
+#: The partition operator writes them, replicas preserve them on transformed
+#: scopes, and the merge operator strips them, so they never appear in the
+#: pipeline's final output (fan-out streams stay bit-identical to linear).
+ROUTING_REPLICA = "fanout_replica"
+ROUTING_ORDINAL = "fanout_ordinal"
 
 
 def _ensemble_context(event: PipelineEvent, sample_rate: int) -> dict:
@@ -242,13 +270,24 @@ class ExtractStageOperator(Operator):
 
 
 class EnsembleStageOperator(Operator):
-    """Run a per-ensemble stage (features, classify, plugins) over scopes."""
+    """Run a per-ensemble stage (features, classify, plugins) over scopes.
 
-    def __init__(self, stage: Stage, name: str | None = None) -> None:
+    With ``replica`` set, the operator is one instance of a fan-out group:
+    it only consumes ensemble scopes whose
+    :data:`ROUTING_REPLICA` context tag matches its index and forwards every
+    other record — including sibling replicas' scopes — untouched, so a
+    chain of replicas behaves like k parallel operators in a linear stream.
+    """
+
+    def __init__(
+        self, stage: Stage, name: str | None = None, replica: int | None = None
+    ) -> None:
         super().__init__(name or f"{stage.name}-stage")
         self.stage = stage
+        self.replica = replica
         self._buffer: list[Record] | None = None
         self._sample_rate: int | None = None
+        self._started = False
 
     def _decode(self, records: list[Record]) -> PipelineEvent | None:
         """Rebuild the event encoded by one buffered ensemble scope."""
@@ -281,11 +320,26 @@ class EnsembleStageOperator(Operator):
                 event = self._decode(buffered)
                 if event is None:
                     return []
+                if not self._started:
+                    # Bare uplink streams carry no clip OpenScope to start
+                    # the stage from; the ensemble's own rate serves.
+                    self._sample_rate = int(event.ensemble.sample_rate)
+                    self.stage.start(self._sample_rate)
+                    self._started = True
                 outputs = self.stage.process(event)
-                return self._encode(outputs, buffered[0].scope, buffered[0].sequence)
+                encoded = self._encode(outputs, buffered[0].scope, buffered[0].sequence)
+                return self._preserve_routing(buffered[0], encoded)
             self._buffer.append(record)
             return []
         if record.is_open and record.scope_type == ScopeType.ENSEMBLE.value:
+            if (
+                self.replica is not None
+                and record.context.get(ROUTING_REPLICA) != self.replica
+            ):
+                # Addressed to a sibling replica (or already transformed by
+                # one): pass through; its inner records follow while our
+                # buffer stays empty, so they pass through too.
+                return [record]
             self._buffer = [record]
             return []
         if record.is_open and record.scope_type == ScopeType.CLIP.value:
@@ -294,8 +348,24 @@ class EnsembleStageOperator(Operator):
             if rate is not None:
                 self._sample_rate = int(rate)
                 self.stage.start(self._sample_rate)
+                self._started = True
             return [record]
         return [record]
+
+    @staticmethod
+    def _preserve_routing(opener: Record, encoded: list[Record]) -> list[Record]:
+        """Carry fan-out routing tags from the consumed scope's opener onto
+        the transformed scope, so the downstream merge can restore order."""
+        routing = {
+            key: opener.context[key]
+            for key in (ROUTING_REPLICA, ROUTING_ORDINAL)
+            if key in opener.context
+        }
+        if routing:
+            for record in encoded:
+                if record.is_open and record.scope_type == ScopeType.ENSEMBLE.value:
+                    record.context = {**record.context, **routing}
+        return encoded
 
     def flush(self) -> list[Record]:
         self._buffer = None
@@ -305,23 +375,254 @@ class EnsembleStageOperator(Operator):
         super().reset()
         self.stage.reset()
         self._buffer = None
+        self._started = False
 
 
-def compile_to_river(builder, name: str = "acoustic-pipeline") -> RiverPipeline:
+class EnsemblePartitionOperator(Operator):
+    """Deterministically route ensemble scopes to fan-out replicas.
+
+    Each ensemble OpenScope is tagged with the index of the replica that
+    must process it and a monotonically increasing ordinal.  The default
+    ``partition="station"`` policy keys on the station that recorded the
+    enclosing clip (stable CRC-32 hash modulo the replica count), so
+    ensembles from different stations flow through different operator
+    instances while one station's ensembles always share a replica —
+    exactly the placement the paper's multi-station observatory needs.
+    Clips without a station id (and ``partition="roundrobin"``) fall back
+    to cycling through the replicas per ensemble.
+    """
+
+    PARTITIONS = ("station", "roundrobin")
+
+    def __init__(
+        self, fan_out: int, partition: str = "station", name: str = "ensemble-partition"
+    ) -> None:
+        super().__init__(name)
+        if fan_out < 1:
+            raise ValueError(f"fan_out must be >= 1, got {fan_out}")
+        if partition not in self.PARTITIONS:
+            raise ValueError(
+                f"partition must be one of {', '.join(self.PARTITIONS)}; "
+                f"got {partition!r}"
+            )
+        self.fan_out = fan_out
+        self.partition = partition
+        self._station = None
+        self._ordinal = 0
+        self._round_robin = 0
+
+    def _replica_for(self) -> int:
+        if self.partition == "station" and self._station is not None:
+            return station_hash(self._station) % self.fan_out
+        replica = self._round_robin % self.fan_out
+        self._round_robin += 1
+        return replica
+
+    def process(self, record: Record) -> list[Record]:
+        if record.is_open and record.scope_type == ScopeType.CLIP.value:
+            self._station = record.context.get("station_id")
+            return [record]
+        if (
+            record.is_open
+            and record.scope_type == ScopeType.ENSEMBLE.value
+            and ROUTING_REPLICA not in record.context
+        ):
+            record.context = {
+                **record.context,
+                ROUTING_REPLICA: self._replica_for(),
+                ROUTING_ORDINAL: self._ordinal,
+            }
+            self._ordinal += 1
+        return [record]
+
+    def reset(self) -> None:
+        super().reset()
+        self._station = None
+        self._ordinal = 0
+        self._round_robin = 0
+
+
+class EnsembleMergeOperator(Operator):
+    """Strip fan-out routing tags and restore ordinal (corpus) order.
+
+    Tagged ensemble scopes are buffered whole and released strictly in the
+    order the partition operator numbered them; a scope that arrives early
+    (e.g. because a replica held a sibling's scope until its flush) waits in
+    the reorder buffer.  Any scopes still pending at a clip boundary or at
+    flush are released in ordinal order — ordinals lost to a repaired
+    (bad-closed) scope upstream therefore delay output only until the next
+    boundary, never forever.  Untagged records pass straight through, so the
+    merge is a no-op outside fan-out groups.
+    """
+
+    def __init__(self, name: str = "ensemble-merge") -> None:
+        super().__init__(name)
+        self._buffer: list[Record] | None = None
+        self._pending: dict[int, list[Record]] = {}
+        self._next_ordinal = 0
+        self._ordinal_of_current = 0
+
+    @staticmethod
+    def _strip(record: Record) -> Record:
+        if ROUTING_REPLICA in record.context or ROUTING_ORDINAL in record.context:
+            record.context = {
+                key: value
+                for key, value in record.context.items()
+                if key not in (ROUTING_REPLICA, ROUTING_ORDINAL)
+            }
+        return record
+
+    def _release_ready(self) -> list[Record]:
+        """Emit buffered scopes that are next in ordinal order."""
+        outputs: list[Record] = []
+        while self._next_ordinal in self._pending:
+            outputs.extend(self._pending.pop(self._next_ordinal))
+            self._next_ordinal += 1
+        return outputs
+
+    def _release_all(self) -> list[Record]:
+        """Emit everything pending in ordinal order (boundary/flush path)."""
+        outputs: list[Record] = []
+        for ordinal in sorted(self._pending):
+            outputs.extend(self._pending.pop(ordinal))
+            self._next_ordinal = max(self._next_ordinal, ordinal + 1)
+        return outputs
+
+    def process(self, record: Record) -> list[Record]:
+        if self._buffer is not None:
+            self._buffer.append(self._strip(record))
+            if record.is_close and record.scope_type == ScopeType.ENSEMBLE.value:
+                scope, ordinal = self._buffer, self._ordinal_of_current
+                self._buffer = None
+                # extend, never assign: a stage may emit several scopes per
+                # input ensemble, and they all carry the input's ordinal.
+                self._pending.setdefault(ordinal, []).extend(scope)
+                return self._release_ready()
+            return []
+        if (
+            record.is_open
+            and record.scope_type == ScopeType.ENSEMBLE.value
+            and ROUTING_ORDINAL in record.context
+        ):
+            self._ordinal_of_current = int(record.context[ROUTING_ORDINAL])
+            self._buffer = [self._strip(record)]
+            return []
+        if record.is_close and record.scope_type == ScopeType.CLIP.value:
+            return self._release_all() + [record]
+        if record.is_end:
+            return self._release_all() + [record]
+        return [record]
+
+    def flush(self) -> list[Record]:
+        leftovers: list[Record] = []
+        if self._buffer is not None:
+            # A tagged scope whose close never arrived — surface what we
+            # have rather than dropping it silently.
+            leftovers = self._buffer
+            self._buffer = None
+        return self._release_all() + leftovers
+
+    def reset(self) -> None:
+        super().reset()
+        self._buffer = None
+        self._pending = {}
+        self._next_ordinal = 0
+        self._ordinal_of_current = 0
+
+
+def _normalize_fan_out(fan_out, stages: list[Stage]) -> dict[str, int]:
+    """Resolve the fan_out argument into a per-stage replica count."""
+    per_stage: dict[str, int] = {}
+    if isinstance(fan_out, dict):
+        known = {stage.name for stage in stages}
+        for stage_name, count in fan_out.items():
+            if stage_name not in known:
+                raise ValueError(
+                    f"fan_out names unknown stage {stage_name!r}; "
+                    f"this pipeline has: {', '.join(sorted(known))}"
+                )
+            per_stage[stage_name] = int(count)
+    else:
+        per_stage = {
+            stage.name: int(fan_out)
+            for stage in stages
+            if not isinstance(stage, ExtractStage)
+        }
+    for stage_name, count in per_stage.items():
+        if count < 1:
+            raise ValueError(
+                f"fan_out for stage {stage_name!r} must be >= 1, got {count}"
+            )
+    extract_names = {s.name for s in stages if isinstance(s, ExtractStage)}
+    fanned_extract = [n for n, k in per_stage.items() if n in extract_names and k > 1]
+    if fanned_extract:
+        raise ValueError(
+            "the extract stage is a stateful chunk consumer and cannot be "
+            f"fanned out (requested fan_out for {fanned_extract[0]!r})"
+        )
+    return per_stage
+
+
+def compile_to_river(
+    builder,
+    name: str = "acoustic-pipeline",
+    fan_out: int | dict[str, int] = 1,
+    partition: str = "station",
+) -> RiverPipeline:
     """Instantiate a builder's stage graph as a Dynamic River pipeline.
 
     Fresh stage instances are created (trace accumulation disabled, since a
     river stream may be unbounded); the wrapped operators can be split into
     :class:`~repro.river.pipeline.PipelineSegment`\\ s and placed on hosts
     like any other operator chain.
+
+    ``fan_out`` compiles each per-ensemble stage into that many parallel
+    replicas behind an :class:`EnsemblePartitionOperator` /
+    :class:`EnsembleMergeOperator` pair (an int applies to every
+    per-ensemble stage; a mapping sets the count per stage name).  The
+    extract stage consumes the raw chunk stream sequentially and cannot be
+    fanned out.  ``partition`` selects the routing policy (``"station"`` or
+    ``"roundrobin"``).  Fan-out never changes the output: the merge restores
+    corpus order, so the record stream is bit-identical to ``fan_out=1``.
     """
     stages = builder.instantiate(keep_traces=False)
+    per_stage = _normalize_fan_out(fan_out, stages)
+    # One independent instantiation per extra replica slot — of exactly the
+    # stage being fanned out — so replica stages never share mutable state
+    # (the classifier object itself is shared by construction, exactly as
+    # thread workers share it).
+    spare_stages = {
+        index: [
+            builder.instantiate(only={index}, keep_traces=False)[0]
+            for _ in range(per_stage[stage.name] - 1)
+        ]
+        for index, stage in enumerate(stages)
+        if per_stage.get(stage.name, 1) > 1
+    }
     operators: list[Operator] = []
-    for stage in stages:
+    for index, stage in enumerate(stages):
         if isinstance(stage, ExtractStage):
             operators.append(ExtractStageOperator(stage))
-        else:
+            continue
+        count = per_stage.get(stage.name, 1)
+        if count == 1:
             operators.append(EnsembleStageOperator(stage))
+            continue
+        operators.append(
+            EnsemblePartitionOperator(
+                count, partition=partition, name=f"{stage.name}-partition"
+            )
+        )
+        replicas = [stage] + spare_stages[index]
+        for replica_index, replica_stage in enumerate(replicas):
+            operators.append(
+                EnsembleStageOperator(
+                    replica_stage,
+                    name=f"{stage.name}-stage-r{replica_index}",
+                    replica=replica_index,
+                )
+            )
+        operators.append(EnsembleMergeOperator(name=f"{stage.name}-merge"))
     return RiverPipeline(operators, name=name)
 
 
@@ -363,16 +664,21 @@ def collect_result(records: Sequence[Record], sample_rate: int | None = None) ->
 
 
 def run_clips_via_river(
-    pipeline, clips: Sequence[AcousticClip], record_size: int = 4096
+    pipeline,
+    clips: Sequence[AcousticClip],
+    record_size: int = 4096,
+    fan_out: int | dict[str, int] = 1,
+    partition: str = "station",
 ) -> PipelineResult:
     """Convenience: stream clips through the compiled river pipeline.
 
     ``pipeline`` is an :class:`~repro.pipeline.builder.AcousticPipeline` or a
     :class:`~repro.pipeline.builder.BuiltPipeline`; each clip is chunked into
     ``record_size`` audio records exactly as a station uplink would deliver
-    it.  Returns the combined result over all clips.
+    it.  ``fan_out`` / ``partition`` are forwarded to ``to_river``.  Returns
+    the combined result over all clips.
     """
-    river = pipeline.to_river()
+    river = pipeline.to_river(fan_out=fan_out, partition=partition)
     source = ClipSource(list(clips), record_size=record_size)
     outputs = river.run_source(source)
     rate = int(clips[0].sample_rate) if clips else None

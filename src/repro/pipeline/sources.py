@@ -1,0 +1,257 @@
+"""Real streaming chunk sources: WAV directories and TCP byte streams.
+
+The unified pipeline consumes chunk iterables (``extract_stream``) and
+corpora of independent sources (``run_corpus``).  This module supplies the
+two sources that open real-recording workloads beyond in-memory clips:
+
+* :class:`WavDirectorySource` — a directory of WAV recordings, exposed both
+  as a *corpus* (one lazily-read :class:`WavChunkStream` per file, so
+  ``run_corpus`` can parallelise across recordings without loading them all)
+  and as one continuous chunk :meth:`~WavDirectorySource.stream` for
+  ``extract_stream``;
+* :class:`SocketChunkSource` — a TCP byte stream of 16-bit little-endian
+  PCM, read with bounded buffering (one chunk at a time) and strict framing,
+  so a station uplink can feed the pipeline live.  A mid-stream disconnect
+  or stall surfaces as :class:`ChunkSourceError`, never as a silent
+  truncation or an indefinite hang.
+
+Both sources honour the engine's chunk invariance: the configured
+``chunk_size`` changes only how data is handed over, never any result.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..dsp.wav import pcm16_to_samples, wav_info
+
+__all__ = [
+    "ChunkSourceError",
+    "WavChunkStream",
+    "WavDirectorySource",
+    "SocketChunkSource",
+]
+
+#: Bytes per sample of the 16-bit PCM wire/disk encoding.
+_BYTES_PER_SAMPLE = 2
+
+
+class ChunkSourceError(RuntimeError):
+    """A streaming chunk source failed mid-stream (disconnect, stall, ...)."""
+
+
+@dataclass(frozen=True)
+class WavChunkStream:
+    """One WAV recording as a re-iterable stream of float sample chunks.
+
+    Only the header is read at construction time; iterating reads the PCM
+    data incrementally in ``chunk_size``-sample pieces, so memory stays
+    bounded no matter how long the recording is.  Multi-channel files yield
+    their first channel, matching :meth:`BuiltPipeline.run` on a
+    :class:`~repro.dsp.wav.WavClip`.
+
+    The object carries its ``sample_rate``, so it can be handed directly to
+    ``BuiltPipeline.run`` / ``run_corpus`` as one corpus item, and it is
+    picklable (path + chunk size only), so the process backend can ship it
+    to workers.
+    """
+
+    path: Path
+    chunk_size: int = 4096
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "path", Path(self.path))
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    @property
+    def info(self):
+        return wav_info(self.path)
+
+    @property
+    def sample_rate(self) -> int:
+        return self.info.sample_rate
+
+    @property
+    def frames(self) -> int:
+        return self.info.frames
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        info = self.info
+        frame_bytes = info.channels * _BYTES_PER_SAMPLE
+        stride = self.chunk_size * frame_bytes
+        with open(self.path, "rb") as handle:
+            handle.seek(info.data_offset)
+            remaining = info.data_bytes
+            leftover = b""
+            while remaining > 0:
+                blob = handle.read(min(stride - len(leftover), remaining))
+                if not blob:
+                    raise ChunkSourceError(
+                        f"{self.path}: WAV data chunk truncated "
+                        f"({remaining} bytes missing)"
+                    )
+                remaining -= len(blob)
+                blob = leftover + blob
+                # Short reads need not land on a frame boundary; carry the
+                # partial frame into the next read instead of dropping it,
+                # which would shift every later sample.
+                usable = len(blob) - len(blob) % frame_bytes
+                leftover = blob[usable:]
+                pcm = np.frombuffer(blob[:usable], dtype="<i2")
+                if info.channels > 1:
+                    pcm = pcm[:: info.channels]
+                if pcm.size:
+                    yield pcm16_to_samples(pcm)
+            # A trailing partial frame means a malformed data chunk; drop it
+            # exactly as read_wav does.
+
+
+@dataclass
+class WavDirectorySource:
+    """A directory of WAV recordings as a pipeline corpus or chunk stream.
+
+    Files are ordered by name, so corpus order is deterministic.  Iterating
+    the source yields one :class:`WavChunkStream` per file — the shape
+    ``run_corpus`` expects::
+
+        source = WavDirectorySource("recordings/", chunk_size=2048)
+        results = pipe.run_corpus(source, backend="process")
+
+    :meth:`stream` instead concatenates every recording into a single
+    continuous chunk iterator for ``extract_stream`` (all files must then
+    share one sample rate).
+    """
+
+    directory: Path
+    pattern: str = "*.wav"
+    chunk_size: int = 4096
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        if not self.directory.is_dir():
+            raise FileNotFoundError(f"{self.directory}: not a directory")
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+
+    @property
+    def paths(self) -> list[Path]:
+        return sorted(self.directory.glob(self.pattern))
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self) -> Iterator[WavChunkStream]:
+        for path in self.paths:
+            yield WavChunkStream(path, chunk_size=self.chunk_size)
+
+    @property
+    def sample_rate(self) -> int:
+        """The common sample rate of the recordings (validated)."""
+        rates = {wav_info(path).sample_rate for path in self.paths}
+        if not rates:
+            raise ChunkSourceError(
+                f"{self.directory}: no files match {self.pattern!r}"
+            )
+        if len(rates) > 1:
+            raise ChunkSourceError(
+                f"{self.directory}: recordings disagree on sample rate: "
+                f"{sorted(rates)}"
+            )
+        return rates.pop()
+
+    def stream(self) -> Iterator[np.ndarray]:
+        """All recordings as one continuous chunk stream (rate-checked)."""
+        self.sample_rate  # validate before yielding anything
+        for reader in self:
+            yield from reader
+
+
+@dataclass
+class SocketChunkSource:
+    """Chunks of 16-bit PCM read from a TCP connection.
+
+    Iterating connects (unless an accepted ``sock`` is injected) and yields
+    float chunks of exactly ``chunk_size`` samples until the peer shuts the
+    stream down *at a chunk boundary*.  The wire protocol is deliberately
+    bare — little-endian int16 samples, nothing else — so any recorder that
+    can write PCM to a socket can feed the pipeline.
+
+    Failure handling, because a field uplink will fail:
+
+    * no bytes for ``timeout`` seconds → :class:`ChunkSourceError` (a stall
+      never turns into an indefinite hang);
+    * connection reset → :class:`ChunkSourceError`;
+    * EOF in the middle of a chunk → :class:`ChunkSourceError` (a clean
+      shutdown ends exactly on a chunk boundary; anything else means the
+      sender died mid-write and the tail cannot be trusted).
+
+    Buffering is bounded: at most one chunk's bytes are ever held.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    sample_rate: int = 22050
+    chunk_size: int = 4096
+    timeout: float = 5.0
+    #: An already-connected socket to read instead of dialling host:port
+    #: (used by servers that accept() the station's connection themselves).
+    sock: socket.socket | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.sample_rate < 1:
+            raise ValueError(f"sample_rate must be >= 1, got {self.sample_rate}")
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+    def _connect(self) -> socket.socket:
+        if self.sock is not None:
+            self.sock.settimeout(self.timeout)
+            return self.sock
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ChunkSourceError(
+                f"could not connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        connection = self._connect()
+        chunk_bytes = self.chunk_size * _BYTES_PER_SAMPLE
+        try:
+            while True:
+                buffer = bytearray()
+                while len(buffer) < chunk_bytes:
+                    try:
+                        piece = connection.recv(chunk_bytes - len(buffer))
+                    except socket.timeout as exc:
+                        raise ChunkSourceError(
+                            f"stream stalled: no data for {self.timeout}s "
+                            f"({len(buffer)} bytes of a "
+                            f"{chunk_bytes}-byte chunk received)"
+                        ) from exc
+                    except OSError as exc:
+                        raise ChunkSourceError(
+                            f"connection lost mid-stream: {exc}"
+                        ) from exc
+                    if not piece:
+                        if buffer:
+                            raise ChunkSourceError(
+                                "peer disconnected mid-chunk "
+                                f"({len(buffer)} of {chunk_bytes} bytes); "
+                                "the stream did not end on a chunk boundary"
+                            )
+                        return  # clean end of stream
+                    buffer.extend(piece)
+                yield pcm16_to_samples(np.frombuffer(bytes(buffer), dtype="<i2"))
+        finally:
+            connection.close()

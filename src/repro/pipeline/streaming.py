@@ -19,6 +19,7 @@ chunk recovers batch-path performance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -26,7 +27,33 @@ from ..config import AnomalyConfig
 from ..core.cutter import Ensemble
 from ..timeseries.sax import symbolize
 
-__all__ = ["RunningNormalizer", "ChunkedAnomalyScorer", "ChunkedCutter"]
+__all__ = ["RunningNormalizer", "ChunkedAnomalyScorer", "ChunkedCutter", "rechunk"]
+
+
+def rechunk(chunks: Iterable[np.ndarray], size: int) -> Iterator[np.ndarray]:
+    """Re-slice a chunk stream into fixed-``size`` chunks (tail may be short).
+
+    Buffering is bounded: at most ``size - 1`` carried samples plus the
+    incoming chunk are ever held.  Because the whole engine is
+    chunk-invariant, rechunking never changes any downstream output — it
+    only normalises the granularity at which a source hands data over
+    (useful around sources with their own natural block size, e.g. wrapping
+    ``WavDirectorySource.stream()`` when a consumer wants different chunks
+    than the files were read with).
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    carry = np.zeros(0)
+    for chunk in chunks:
+        arr = np.asarray(chunk, dtype=float).ravel()
+        if carry.size:
+            arr = np.concatenate([carry, arr])
+        full = (arr.size // size) * size
+        for start in range(0, full, size):
+            yield arr[start : start + size]
+        carry = arr[full:]
+    if carry.size:
+        yield carry
 
 
 @dataclass

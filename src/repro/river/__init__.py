@@ -7,7 +7,14 @@ from .acoustic import (
     run_extraction,
 )
 from .channels import ByteChannel, Channel, LinkStats, QueueChannel, SimulatedLinkChannel
-from .errors import ChannelClosed, PlacementError, RiverError, ScopeError, SerializationError
+from .errors import (
+    ChannelClosed,
+    ChannelFull,
+    PlacementError,
+    RiverError,
+    ScopeError,
+    SerializationError,
+)
 from .fault import FaultInjector, SegmentCrash, count_bad_closes, scope_repair_summary
 from .operator_base import (
     FunctionOperator,
@@ -16,8 +23,8 @@ from .operator_base import (
     SinkOperator,
     SourceOperator,
 )
-from .pipeline import Pipeline, PipelineSegment, SegmentState
-from .placement import Deployment, Host, QoSMonitor, QoSReport
+from .pipeline import Pipeline, PipelineSegment, SegmentState, split_into_segments
+from .placement import Deployment, Host, QoSMonitor, QoSReport, StationScheduler
 from .records import (
     Record,
     RecordType,
@@ -36,6 +43,7 @@ __all__ = [
     "ByteChannel",
     "Channel",
     "ChannelClosed",
+    "ChannelFull",
     "Deployment",
     "ExtractionOutput",
     "FaultInjector",
@@ -63,6 +71,7 @@ __all__ = [
     "SimulatedLinkChannel",
     "SinkOperator",
     "SourceOperator",
+    "StationScheduler",
     "Subtype",
     "bad_close_scope",
     "build_extraction_pipeline",
@@ -76,6 +85,7 @@ __all__ = [
     "pack_stream",
     "run_extraction",
     "scope_repair_summary",
+    "split_into_segments",
     "unpack_record",
     "unpack_stream",
     "validate_stream",

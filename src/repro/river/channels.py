@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .errors import ChannelClosed
+from .errors import ChannelClosed, ChannelFull
 from .records import Record
 from .serialization import pack_record, unpack_record
 
@@ -57,14 +57,32 @@ class Channel:
 
 @dataclass
 class QueueChannel(Channel):
-    """Unbounded in-process FIFO channel."""
+    """In-process FIFO channel, unbounded by default.
+
+    With ``capacity`` set, ``put`` raises :class:`ChannelFull` once the
+    backlog reaches the bound.  Bounded channels give deployments real
+    backpressure: a fan-out replica that cannot keep up fills its input
+    channel instead of silently buffering without limit, which is what the
+    :class:`~repro.river.placement.QoSMonitor` backlog thresholds and the
+    :class:`~repro.river.placement.StationScheduler` load model assume.
+    """
 
     _queue: deque = field(default_factory=deque, repr=False)
     _closed: bool = field(default=False, repr=False)
+    #: Maximum number of buffered records (None = unbounded).
+    capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
 
     def put(self, record: Record) -> None:
         if self._closed:
             raise ChannelClosed("cannot put on a closed channel")
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            raise ChannelFull(
+                f"channel backlog reached its capacity of {self.capacity} records"
+            )
         self._queue.append(record)
 
     def get(self) -> Record | None:

@@ -7,6 +7,7 @@ __all__ = [
     "ScopeError",
     "SerializationError",
     "ChannelClosed",
+    "ChannelFull",
     "PlacementError",
 ]
 
@@ -25,6 +26,10 @@ class SerializationError(RiverError):
 
 class ChannelClosed(RiverError):
     """Raised when reading from or writing to a closed channel."""
+
+
+class ChannelFull(RiverError):
+    """Raised when putting on a bounded channel whose capacity is exhausted."""
 
 
 class PlacementError(RiverError):

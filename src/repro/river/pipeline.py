@@ -10,16 +10,17 @@ networked hosts and be recomposed dynamically by moving segments among hosts
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from .channels import Channel, QueueChannel
-from .errors import ChannelClosed
+from .errors import ChannelClosed, ChannelFull
 from .operator_base import Operator, SourceOperator, ensure_end_of_stream
 from .records import Record, RecordType
 from .scopes import ScopeStack
 
-__all__ = ["Pipeline", "PipelineSegment", "SegmentState"]
+__all__ = ["Pipeline", "PipelineSegment", "SegmentState", "split_into_segments"]
 
 
 class Pipeline:
@@ -130,13 +131,34 @@ class PipelineSegment:
     scope_stack: ScopeStack = field(default_factory=lambda: ScopeStack(strict=False))
     #: Simulated seconds of processing consumed (filled in by the host model).
     processing_seconds: float = 0.0
+    #: Records produced but not yet accepted by a (bounded) output channel.
+    #: Backpressure: while the outbox is non-empty the segment consumes no
+    #: further input, so a slow consumer throttles its producer instead of
+    #: crashing it with :class:`ChannelFull`.
+    _outbox: deque = field(default_factory=deque, repr=False)
 
     # -- helpers -------------------------------------------------------------
 
     def _emit(self, records: list[Record]) -> None:
         for record in records:
             self.scope_stack.observe(record)
-            self.output_channel.put(record)
+            self._outbox.append(record)
+        self._drain_outbox()
+
+    def _drain_outbox(self) -> bool:
+        """Move outbox records onto the output channel; False while blocked."""
+        while self._outbox:
+            try:
+                self.output_channel.put(self._outbox[0])
+            except ChannelFull:
+                return False
+            self._outbox.popleft()
+        return True
+
+    @property
+    def pending_output(self) -> int:
+        """Records held back by a full output channel."""
+        return len(self._outbox)
 
     def _finish(self) -> None:
         self._emit(self.pipeline.flush())
@@ -144,19 +166,33 @@ class PipelineSegment:
         self._emit(self.scope_stack.closing_records("segment finished with open scopes"))
         from .records import end_of_stream
 
-        self.output_channel.put(end_of_stream())
+        self._emit_raw(end_of_stream())
         self.state = SegmentState.FINISHED
+
+    def _emit_raw(self, record: Record) -> None:
+        self._outbox.append(record)
+        self._drain_outbox()
 
     # -- execution -----------------------------------------------------------
 
     def step(self, max_records: int = 1) -> int:
-        """Process up to ``max_records`` input records; returns how many were handled."""
+        """Process up to ``max_records`` input records; returns how many were handled.
+
+        A segment whose bounded output channel filled up first retries its
+        held-back records; until they fit, no new input is consumed (and a
+        finished segment keeps draining its tail this way).
+        """
+        if not self._drain_outbox():
+            return 0
         if self.state != SegmentState.RUNNING:
             return 0
         if self.input_channel is None:
             raise ValueError(f"segment {self.name!r} has no input channel to pull from")
         handled = 0
         for _ in range(max_records):
+            if self._outbox:
+                # Output backlogged mid-step: stop pulling input.
+                break
             try:
                 record = self.input_channel.get()
             except ChannelClosed:
@@ -180,7 +216,7 @@ class PipelineSegment:
         self._emit(self.scope_stack.closing_records(reason))
         from .records import end_of_stream
 
-        self.output_channel.put(end_of_stream())
+        self._emit_raw(end_of_stream())
         self.state = SegmentState.FAILED
 
     def stop(self) -> None:
@@ -207,3 +243,48 @@ class PipelineSegment:
             if record is None:
                 return
             yield record
+
+
+def split_into_segments(
+    pipeline: Pipeline,
+    boundaries: Iterable[int] | None = None,
+    channel_factory=QueueChannel,
+) -> list[PipelineSegment]:
+    """Cut a pipeline into channel-wired :class:`PipelineSegment`\\ s.
+
+    ``boundaries`` lists the operator indices at which to cut (a boundary
+    ``i`` starts a new segment at operator ``i``); by default every operator
+    becomes its own segment — the finest placement granularity, which is
+    what per-stage fan-out deployments use so each replica operator can live
+    on its own host.  Consecutive segments are wired output→input with
+    channels from ``channel_factory``; feed records into the first segment's
+    ``input_channel`` and drain the last segment's ``output_channel``.
+
+    Segments are named after their first operator, so placement schedulers
+    can key on operator names (e.g. ``features-stage-r0``).
+    """
+    operators = list(pipeline.operators)
+    if boundaries is None:
+        cuts = list(range(len(operators)))
+    else:
+        cuts = sorted(set(boundaries) | {0})
+        if any(cut < 0 or cut >= len(operators) for cut in cuts):
+            raise ValueError(
+                f"boundaries must be operator indices in [0, {len(operators)}), "
+                f"got {sorted(set(boundaries))}"
+            )
+    spans = list(zip(cuts, cuts[1:] + [len(operators)]))
+    segments: list[PipelineSegment] = []
+    upstream: Channel = channel_factory()
+    for start, end in spans:
+        group = operators[start:end]
+        name = group[0].name
+        segment = PipelineSegment(
+            name=name,
+            pipeline=Pipeline(group, name=f"{pipeline.name}/{name}"),
+            input_channel=upstream,
+            output_channel=channel_factory(),
+        )
+        segments.append(segment)
+        upstream = segment.output_channel
+    return segments

@@ -10,7 +10,14 @@ service.  This module provides:
   channels wiring segments together; :meth:`Deployment.run` steps every
   running segment round-robin until the whole pipeline drains.
 * :class:`QoSMonitor` — tracks per-segment backlog and processing time and
-  recommends relocations when a host is overloaded.
+  recommends relocations when a host is overloaded.  Segments placed with a
+  ``group`` (fan-out replicas of the same stage) are kept spread across
+  distinct hosts when relocation candidates are chosen.
+* :class:`StationScheduler` — a deterministic partition-by-station placement
+  policy: work keyed by sensor station is split across hosts so that one
+  station's segments always land on the same host while the per-host load,
+  normalised by host speed, stays within a provable bound of every other
+  host's.
 * :meth:`Deployment.relocate` — move a segment to another host mid-run
   (recomposition); scope integrity is preserved by the segments' own
   scope-repair machinery.
@@ -18,12 +25,24 @@ service.  This module provides:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
 
 from .errors import PlacementError
 from .pipeline import PipelineSegment, SegmentState
 
-__all__ = ["Host", "QoSMonitor", "QoSReport", "Deployment"]
+__all__ = ["Host", "QoSMonitor", "QoSReport", "Deployment", "StationScheduler"]
+
+
+def station_hash(key: Hashable) -> int:
+    """A stable non-negative hash of a station key.
+
+    ``hash()`` on strings is salted per process, so it cannot be used for
+    placement decisions that must agree across hosts and runs; CRC-32 over
+    the key's text form is stable everywhere.
+    """
+    return zlib.crc32(str(key).encode("utf-8"))
 
 
 @dataclass
@@ -69,10 +88,23 @@ class QoSMonitor:
     history: list[QoSReport] = field(default_factory=list)
 
     def observe(self, deployment: "Deployment") -> list[QoSReport]:
-        """Record a snapshot of every segment in the deployment."""
+        """Record a snapshot of every segment in the deployment.
+
+        A segment's backlog counts its input channel *plus* records its
+        producers hold back in their outboxes because that channel is a
+        full bounded channel — otherwise backpressure would cap the visible
+        backlog at the channel capacity and overload could never cross
+        ``backlog_threshold``.
+        """
         snapshot = []
         for name, segment in deployment.segments.items():
             backlog = len(segment.input_channel) if segment.input_channel is not None else 0
+            if segment.input_channel is not None:
+                backlog += sum(
+                    producer.pending_output
+                    for producer in deployment.segments.values()
+                    if producer.output_channel is segment.input_channel
+                )
             report = QoSReport(
                 segment=name,
                 host=deployment.placement[name],
@@ -92,16 +124,31 @@ class QoSMonitor:
             if report.backlog > self.backlog_threshold and report.state == SegmentState.RUNNING
         ]
 
-    def recommend(self, deployment: "Deployment") -> dict[str, str]:
-        """Recommend a new host for each overloaded segment (fastest idle host)."""
+    def recommend(
+        self, deployment: "Deployment", spread_groups: bool = True
+    ) -> dict[str, str]:
+        """Recommend a new host for each overloaded segment (fastest idle host).
+
+        With ``spread_groups`` (the default), segments that were placed with
+        a ``group`` — fan-out replicas of one pipeline stage — are never
+        recommended onto a host that already runs a sibling of the same
+        group, unless no other host is available: co-locating two replicas
+        would serialise exactly the work the fan-out exists to parallelise.
+        """
         recommendations: dict[str, str] = {}
         for segment_name in self.overloaded(deployment):
             current = deployment.placement[segment_name]
-            candidates = [
+            occupied = (
+                deployment.group_hosts(segment_name) if spread_groups else set()
+            )
+            usable = [
                 host
                 for host in deployment.hosts.values()
                 if host.available and host.name != current
             ]
+            # Prefer hosts without a sibling replica; fall back to
+            # co-location rather than leaving the segment stuck.
+            candidates = [h for h in usable if h.name not in occupied] or usable
             if not candidates:
                 continue
             best = max(candidates, key=lambda host: host.speed - host.busy_seconds)
@@ -118,6 +165,9 @@ class Deployment:
     segments: dict[str, PipelineSegment] = field(default_factory=dict)
     #: segment name -> host name
     placement: dict[str, str] = field(default_factory=dict)
+    #: segment name -> replica-group label (fan-out replicas of one stage
+    #: share a label so schedulers and the QoS monitor can spread them).
+    groups: dict[str, str] = field(default_factory=dict)
     #: Number of records a segment may process per scheduling turn when its
     #: host runs at ``reference_speed``; faster hosts get proportionally more,
     #: slower hosts proportionally fewer (never less than one).
@@ -135,8 +185,15 @@ class Deployment:
         self.hosts[host.name] = host
         return host
 
-    def place(self, segment: PipelineSegment, host_name: str) -> None:
-        """Place a segment on a host."""
+    def place(
+        self, segment: PipelineSegment, host_name: str, group: str | None = None
+    ) -> None:
+        """Place a segment on a host.
+
+        ``group`` labels fan-out replicas of the same stage; the QoS monitor
+        and :class:`StationScheduler` use it to keep siblings on distinct
+        hosts.
+        """
         if host_name not in self.hosts:
             raise PlacementError(f"unknown host {host_name!r}")
         if not self.hosts[host_name].available:
@@ -145,7 +202,22 @@ class Deployment:
             raise PlacementError(f"segment {segment.name!r} is already placed")
         self.segments[segment.name] = segment
         self.placement[segment.name] = host_name
+        if group is not None:
+            self.groups[segment.name] = group
         self.events.append(("place", f"{segment.name} -> {host_name}"))
+
+    def group_hosts(self, segment_name: str) -> set[str]:
+        """Hosts currently running siblings of ``segment_name``'s group."""
+        group = self.groups.get(segment_name)
+        if group is None:
+            return set()
+        return {
+            self.placement[name]
+            for name, label in self.groups.items()
+            if label == group
+            and name != segment_name
+            and self.segments[name].state == SegmentState.RUNNING
+        }
 
     # -- recomposition ---------------------------------------------------------
 
@@ -189,19 +261,27 @@ class Deployment:
     # -- execution --------------------------------------------------------------
 
     def step_all(self) -> int:
-        """Give every running segment one scheduling turn; returns records handled."""
+        """Give every running segment one scheduling turn; returns records handled.
+
+        Segments that already finished but still hold records a bounded
+        output channel refused (``pending_output``) are stepped too, so
+        their tail drains once the consumer frees capacity; the drained
+        records count as progress to keep :meth:`run` going.
+        """
         handled = 0
         for name, segment in self.segments.items():
-            if segment.state != SegmentState.RUNNING:
+            backlogged = segment.pending_output
+            if segment.state != SegmentState.RUNNING and not backlogged:
                 continue
             host = self.hosts[self.placement[name]]
             if not host.available:
                 continue
             allowance = max(1, int(round(self.batch_size * host.speed / self.reference_speed)))
             processed = segment.step(allowance)
+            drained = backlogged - segment.pending_output
             if processed:
                 segment.processing_seconds += host.account(processed)
-            handled += processed
+            handled += processed + max(drained, 0)
         return handled
 
     def run(
@@ -215,6 +295,18 @@ class Deployment:
         With ``rebalance=True`` and a monitor, relocation recommendations are
         applied after every round, demonstrating QoS-driven recomposition.
         Returns the number of scheduling rounds executed.
+
+        A round in which no segment makes progress *while a running segment
+        sits on an unavailable host* is a stall, not completion — host
+        availability cannot change inside ``run``, so that segment can
+        never run again and :class:`PlacementError` is raised instead of
+        returning as if the pipeline had drained.
+
+        With bounded channels, leave the **final** segment's output channel
+        unbounded (or drain it between calls): ``run`` has no consumer for
+        it, so a full tail channel backpressures the whole chain to a halt
+        and ``run`` returns with ``finished`` still False — check
+        :attr:`finished` and drain/re-run in that case.
         """
         rounds = 0
         for rounds in range(1, max_rounds + 1):
@@ -226,10 +318,212 @@ class Deployment:
                 else:
                     monitor.observe(self)
             if handled == 0:
+                self._check_stalled()
                 break
         return rounds
+
+    def _check_stalled(self) -> None:
+        """Raise :class:`PlacementError` when running segments can never resume.
+
+        Called only after a zero-progress round: at that point nothing in
+        the deployment will change again, so *any* running segment placed
+        on an unavailable host is permanently stuck — not just the case
+        where every host is down.
+        """
+        stranded = [
+            name
+            for name, segment in self.segments.items()
+            if (segment.state == SegmentState.RUNNING or segment.pending_output)
+            and not self.hosts[self.placement[name]].available
+        ]
+        if stranded:
+            stuck = ", ".join(
+                f"{name} (on {self.placement[name]})" for name in sorted(stranded)
+            )
+            raise PlacementError(
+                "deployment stalled: running segments are placed on "
+                f"unavailable hosts and can never make progress: {stuck}; "
+                "relocate the segments to an available host or fail the hosts "
+                "to abort them cleanly"
+            )
 
     @property
     def finished(self) -> bool:
         """True when every segment has finished or failed."""
         return all(segment.finished for segment in self.segments.values())
+
+
+@dataclass
+class StationScheduler:
+    """Deterministic partition-by-station placement across hosts.
+
+    The scheduler solves the placement problem the paper's multi-station
+    observatory poses: segments of work are keyed by the sensor station that
+    produced them, stations must stay **sticky** (one station's work always
+    lands on the same host, so per-station operator state never migrates
+    implicitly) and hosts of different speeds must end up with comparable
+    *normalised* load.
+
+    :meth:`partition` implements greedy longest-processing-time assignment
+    over station groups on related machines, which yields the documented
+    per-host backlog bound:
+
+    **Backlog bound.**  After ``partition(stations)`` over available hosts,
+    for every pair of available hosts ``a`` and ``b``::
+
+        load[a] / speed[a]  <=  load[b] / speed[b]  +  max_group / speed[b]
+
+    where ``load`` is the sum of station weights assigned to a host and
+    ``max_group`` is the largest per-station weight.  (Proof sketch: when
+    the last group was assigned to ``a``, ``a`` minimised the normalised
+    load among all hosts including that group's weight, and ``b``'s load
+    only grew afterwards.)  The property suite in
+    ``tests/test_placement_scheduler.py`` checks exactly this inequality.
+
+    :meth:`place_segments` applies a partition to a :class:`Deployment`, and
+    :meth:`spread_replicas` places fan-out replicas of one stage on distinct
+    hosts (fastest first).  :meth:`rebalance` applies the group-aware
+    :meth:`QoSMonitor.recommend` relocations mid-run.
+    """
+
+    hosts: dict[str, Host] = field(default_factory=dict)
+    #: Station key -> host name decided so far (stickiness across calls).
+    assignments: dict[Hashable, str] = field(default_factory=dict)
+    #: Host name -> total station weight assigned so far.
+    loads: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def for_deployment(cls, deployment: Deployment) -> "StationScheduler":
+        """A scheduler over a deployment's hosts (shared Host objects)."""
+        return cls(hosts=dict(deployment.hosts))
+
+    def add_host(self, host: Host) -> Host:
+        if host.name in self.hosts:
+            raise PlacementError(f"host {host.name!r} already exists")
+        self.hosts[host.name] = host
+        return host
+
+    # -- the partition policy --------------------------------------------------
+
+    def _available(self) -> list[Host]:
+        hosts = [host for host in self.hosts.values() if host.available]
+        if not hosts:
+            raise PlacementError(
+                "no available host to schedule on: every host is unavailable"
+            )
+        return hosts
+
+    def partition(
+        self, stations: Iterable[Hashable] | Mapping[Hashable, float]
+    ) -> dict[Hashable, str]:
+        """Assign every station key to an available host.
+
+        ``stations`` is an iterable of keys (weight 1 each; duplicates
+        aggregate) or a mapping ``key -> weight``.  Keys already assigned in
+        an earlier call keep their host (stickiness); new keys are assigned
+        greedily, heaviest first, to the available host with the smallest
+        normalised load ``(load + weight) / speed``.  Ties break by host
+        speed (faster first) and then name, so the partition is fully
+        deterministic.  Returns the mapping for the requested keys.
+        """
+        if isinstance(stations, Mapping):
+            weights = {key: float(weight) for key, weight in stations.items()}
+        else:
+            weights = {}
+            for key in stations:
+                weights[key] = weights.get(key, 0.0) + 1.0
+        for key, weight in weights.items():
+            if weight < 0:
+                raise PlacementError(
+                    f"station {key!r} has negative weight {weight}"
+                )
+        available = self._available()
+        result: dict[Hashable, str] = {}
+        fresh = []
+        for key in weights:
+            host = self.assignments.get(key)
+            if host is not None and host in self.hosts and self.hosts[host].available:
+                # Sticky hit: the station's weight was accrued when it was
+                # first assigned; counting it again on every lookup would
+                # inflate the host's load and skew later assignments.
+                result[key] = host
+            else:
+                fresh.append(key)
+        # Heaviest group first (LPT); deterministic tie-break via the stable
+        # station hash so iteration order of the input cannot matter.
+        fresh.sort(key=lambda key: (-weights[key], station_hash(key), str(key)))
+        for key in fresh:
+            weight = weights[key]
+            best = min(
+                available,
+                key=lambda host: (
+                    (self.loads.get(host.name, 0.0) + weight) / host.speed,
+                    -host.speed,
+                    host.name,
+                ),
+            )
+            self.loads[best.name] = self.loads.get(best.name, 0.0) + weight
+            self.assignments[key] = best.name
+            result[key] = best.name
+        return result
+
+    def host_for(self, station: Hashable, weight: float = 1.0) -> str:
+        """The sticky host for one station (assigning it now if new)."""
+        return self.partition({station: weight})[station]
+
+    # -- applying a partition to a deployment ----------------------------------
+
+    def place_segments(
+        self,
+        deployment: Deployment,
+        segments: Mapping[Hashable, PipelineSegment]
+        | Iterable[tuple[Hashable, PipelineSegment]],
+        group: str | None = None,
+    ) -> dict[str, str]:
+        """Place station-keyed segments onto the deployment's hosts.
+
+        ``segments`` maps a station key to the segment handling that
+        station's records.  Returns ``segment name -> host name``.
+        """
+        items = (
+            list(segments.items()) if isinstance(segments, Mapping) else list(segments)
+        )
+        mapping = self.partition([key for key, _ in items])
+        placed: dict[str, str] = {}
+        for key, segment in items:
+            host_name = mapping[key]
+            deployment.place(segment, host_name, group=group)
+            placed[segment.name] = host_name
+        return placed
+
+    def spread_replicas(
+        self,
+        deployment: Deployment,
+        segments: Iterable[PipelineSegment],
+        group: str,
+    ) -> dict[str, str]:
+        """Place fan-out replicas of one stage on distinct hosts.
+
+        Replicas go to the fastest available hosts first; when there are
+        more replicas than hosts, assignment wraps around (co-location is
+        then unavoidable).  Every replica is placed with the ``group``
+        label, so :meth:`QoSMonitor.recommend` keeps them spread during
+        later relocations.
+        """
+        ranked = sorted(self._available(), key=lambda h: (-h.speed, h.name))
+        placed: dict[str, str] = {}
+        for index, segment in enumerate(segments):
+            host = ranked[index % len(ranked)]
+            deployment.place(segment, host.name, group=group)
+            self.loads[host.name] = self.loads.get(host.name, 0.0) + 1.0
+            placed[segment.name] = host.name
+        return placed
+
+    def rebalance(
+        self, deployment: Deployment, monitor: QoSMonitor
+    ) -> dict[str, str]:
+        """Apply the monitor's group-aware relocation recommendations."""
+        moves = monitor.recommend(deployment, spread_groups=True)
+        for segment_name, host_name in moves.items():
+            deployment.relocate(segment_name, host_name)
+        return moves

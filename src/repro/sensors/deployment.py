@@ -115,3 +115,18 @@ class SensorDeployment:
         if not self.log:
             return 1.0
         return sum(1 for entry in self.log if entry.delivered) / len(self.log)
+
+    def delivered_clips(self) -> list:
+        """Every delivered clip, in delivery order.
+
+        This is the natural multi-station corpus for the distributed layer:
+        clips from all stations interleaved exactly as the observatory
+        received them, each tagged with its ``station_id`` so a fan-out
+        river graph partitions them per station and ``run_corpus`` /
+        ``run_clips_via_river`` reproduce the field workload faithfully.
+        """
+        return [capture.clip for capture in self.captures]
+
+    def station_ids(self) -> list[str]:
+        """The distinct stations that delivered at least one clip (sorted)."""
+        return sorted({capture.station_id for capture in self.captures})

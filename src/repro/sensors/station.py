@@ -115,6 +115,12 @@ class StationCapture:
     transmitted_samples: int
 
     @property
+    def station_id(self) -> str:
+        """The recording station's id — the partition key distributed river
+        graphs route on (see ``EnsemblePartitionOperator``)."""
+        return self.clip.station_id
+
+    @property
     def payload_bytes(self) -> int:
         """Bytes on the wire (16-bit PCM)."""
         return self.transmitted_samples * 2

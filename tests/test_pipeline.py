@@ -308,6 +308,189 @@ class TestRiverParity:
         assert river.labels == [None] * len(river.ensembles)
 
 
+@pytest.fixture(scope="module")
+def station_corpus():
+    """Three clips from three distinct stations (the fan-out workload)."""
+    rng = np.random.default_rng(21)
+    builder = ClipBuilder(sample_rate=16000, duration=5.0)
+    return [
+        builder.build(["NOCA", "TUTI"], rng, songs_per_species=1, station_id=f"pole-{i}")
+        for i in range(3)
+    ]
+
+
+class TestFanOutRiverParity:
+    """to_river(fan_out=k) must be bit-identical to batch run() and to the
+    linear single-operator river graph, for any k and partition policy."""
+
+    def _batch_reference(self, trained_builder, clips):
+        pipe = trained_builder.build()
+        ensembles, labels, patterns = [], [], []
+        for clip in clips:
+            result = pipe.run(clip)
+            ensembles.extend(result.ensembles)
+            labels.extend(result.labels)
+            patterns.extend(result.patterns)
+        return ensembles, labels, patterns
+
+    @pytest.mark.parametrize("fan_out", [1, 2, 4])
+    def test_fan_out_matches_batch_and_linear(
+        self, trained_builder, station_corpus, fan_out
+    ):
+        """The acceptance criterion: fan-out ≡ linear ≡ batch, bit-identically."""
+        ensembles, labels, patterns = self._batch_reference(
+            trained_builder, station_corpus
+        )
+        linear = run_clips_via_river(trained_builder, station_corpus, record_size=4096)
+        fanned = run_clips_via_river(
+            trained_builder, station_corpus, record_size=4096, fan_out=fan_out
+        )
+        assert_same_ensembles(ensembles, linear.ensembles)
+        assert_same_ensembles(linear.ensembles, fanned.ensembles)
+        assert labels == linear.labels == fanned.labels
+        for batch_p, linear_p, fanned_p in zip(patterns, linear.patterns, fanned.patterns):
+            assert len(batch_p) == len(linear_p) == len(fanned_p)
+            for u, v, w in zip(batch_p, linear_p, fanned_p):
+                np.testing.assert_array_equal(u, v)
+                np.testing.assert_array_equal(v, w)
+
+    @pytest.mark.parametrize("partition", ["station", "roundrobin"])
+    def test_partition_policy_never_changes_results(
+        self, trained_builder, station_corpus, partition
+    ):
+        linear = run_clips_via_river(trained_builder, station_corpus, record_size=1777)
+        fanned = run_clips_via_river(
+            trained_builder,
+            station_corpus,
+            record_size=1777,
+            fan_out=3,
+            partition=partition,
+        )
+        assert_same_ensembles(linear.ensembles, fanned.ensembles)
+        assert linear.labels == fanned.labels
+
+    def test_fan_out_stream_is_well_formed_and_tag_free(self, trained_builder, station_corpus):
+        pipeline = trained_builder.to_river(fan_out=4)
+        outputs = pipeline.run_source(ClipSource(station_corpus, record_size=4096))
+        assert validate_stream(outputs) == []
+        for record in outputs:
+            assert "fanout_replica" not in record.context
+            assert "fanout_ordinal" not in record.context
+
+    def test_fan_out_flush_emits_tail_ensemble_in_order(self, trained_builder):
+        """An ensemble still open at end-of-stream (no clip CloseScope) must
+        survive the partition/replica/merge chain via the flush path."""
+        from repro.river.records import Subtype, data_record, end_of_stream
+
+        rng = np.random.default_rng(9)
+        signal = 0.05 * rng.standard_normal(40000)
+        signal[30000:] += np.sin(2 * np.pi * 0.1 * np.arange(10000))  # high at EOS
+        linear_pipe = trained_builder.to_river()
+        fanned_pipe = trained_builder.to_river(fan_out=3)
+        records = [
+            data_record(signal[start : start + 4096], subtype=Subtype.AUDIO.value)
+            for start in range(0, signal.size, 4096)
+        ]
+        records.append(end_of_stream())
+        linear_out = linear_pipe.run(list(records))
+        fanned_out = fanned_pipe.run(list(records))
+        from repro.pipeline import collect_result
+
+        linear_result = collect_result(linear_out, sample_rate=16000)
+        fanned_result = collect_result(fanned_out, sample_rate=16000)
+        assert linear_result.ensembles, "expected a tail ensemble at end-of-stream"
+        assert_same_ensembles(linear_result.ensembles, fanned_result.ensembles)
+        assert linear_result.labels == fanned_result.labels
+
+    def test_stations_stick_to_replicas(self, trained_builder, station_corpus):
+        """Every ensemble of one station is routed to the same replica, and
+        the replica is the stable station hash the scheduler also uses."""
+        from repro.river.placement import station_hash
+        from repro.river.records import ScopeType as RST
+
+        pipeline = trained_builder.to_river(fan_out=2)
+        extract = pipeline.operator("extract-stage")
+        partition = pipeline.operator("features-partition")
+        seen: dict[str, set[int]] = {}
+        station = None
+        for record in ClipSource(station_corpus, record_size=4096).generate():
+            for extracted in extract.process(record):
+                for out in partition.process(extracted):
+                    if out.is_open and out.scope_type == RST.CLIP.value:
+                        station = out.context.get("station_id")
+                    if out.is_open and out.scope_type == RST.ENSEMBLE.value:
+                        seen.setdefault(station, set()).add(
+                            out.context["fanout_replica"]
+                        )
+        assert seen, "expected routed ensemble scopes"
+        for station_id, replicas in seen.items():
+            assert replicas == {station_hash(station_id) % 2}
+
+    def test_fan_out_validation(self, trained_builder):
+        with pytest.raises(ValueError, match="fan_out"):
+            trained_builder.to_river(fan_out=0)
+        with pytest.raises(ValueError, match="extract"):
+            trained_builder.to_river(fan_out={"extract": 2})
+        with pytest.raises(ValueError, match="unknown stage"):
+            trained_builder.to_river(fan_out={"no-such-stage": 2})
+        with pytest.raises(ValueError, match="partition"):
+            trained_builder.to_river(fan_out=2, partition="sideways")
+
+    def test_merge_accumulates_scopes_sharing_an_ordinal(self):
+        """A stage may emit several scopes per input ensemble; all carry the
+        input's ordinal and the merge must keep every one of them."""
+        from repro.pipeline import EnsembleMergeOperator
+        from repro.river.records import ScopeType as RST
+        from repro.river.records import Subtype, close_scope, data_record, open_scope
+
+        def tagged_scope(ordinal, payload):
+            context = {
+                "sample_rate": 16000,
+                "start": 0,
+                "end": 4,
+                "fanout_replica": 0,
+                "fanout_ordinal": ordinal,
+            }
+            return [
+                open_scope(0, RST.ENSEMBLE.value, context=context),
+                data_record(
+                    payload, subtype=Subtype.AUDIO.value, scope=1,
+                    scope_type=RST.ENSEMBLE.value, context=dict(context),
+                ),
+                close_scope(0, RST.ENSEMBLE.value),
+            ]
+
+        merge = EnsembleMergeOperator()
+        outputs: list = []
+        # Ordinal 1 arrives first (ordinal 0 outstanding), twice — the
+        # duplicate must accumulate, not overwrite.
+        for record in tagged_scope(1, np.ones(4)) + tagged_scope(1, np.full(4, 2.0)):
+            outputs.extend(merge.process(record))
+        assert outputs == []  # held until ordinal 0 arrives
+        for record in tagged_scope(0, np.zeros(4)):
+            outputs.extend(merge.process(record))
+        opens = [r for r in outputs if r.is_open]
+        closes = [r for r in outputs if r.is_close]
+        assert len(opens) == len(closes) == 3
+        payloads = [r.payload[0] for r in outputs if r.is_data]
+        assert payloads == [0.0, 1.0, 2.0]  # ordinal order, both duplicates kept
+        assert validate_stream(outputs, strict=False) == []
+
+    def test_per_stage_fan_out_mapping(self, trained_builder, station_corpus):
+        linear = run_clips_via_river(trained_builder, station_corpus)
+        mixed = run_clips_via_river(
+            trained_builder, station_corpus, fan_out={"features": 3, "classify": 2}
+        )
+        assert_same_ensembles(linear.ensembles, mixed.ensembles)
+        assert linear.labels == mixed.labels
+        river = trained_builder.to_river(fan_out={"features": 3})
+        names = [op.name for op in river.operators]
+        assert "features-partition" in names and "features-merge" in names
+        assert sum("features-stage-r" in name for name in names) == 3
+        # classify was not fanned out in this graph.
+        assert "classify-stage" in names
+
+
 class TestGlobalNormalizationMode:
     def test_matches_legacy_extractor_exactly(self, song_clip):
         legacy = EnsembleExtractor(FAST_EXTRACTION).extract_clip(song_clip)

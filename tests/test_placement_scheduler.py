@@ -1,0 +1,446 @@
+"""Property-based tests for the partition-by-station placement scheduler.
+
+Hypothesis generates random host fleets (speeds, availability) and station
+workloads, and the suite checks the :class:`repro.river.StationScheduler`
+invariants that the distributed layer relies on:
+
+* a segment is **never** assigned to an unavailable host (and scheduling
+  with no available host raises :class:`PlacementError` instead of guessing);
+* the per-host backlog stays within the documented bound — for every pair
+  of available hosts ``a, b``:
+  ``load[a]/speed[a] <= load[b]/speed[b] + max_group/speed[b]``;
+* partitions are deterministic and sticky: the same stations over the same
+  hosts always produce the same mapping, and one station never splits
+  across hosts;
+* QoS-driven relocation mid-run preserves scope integrity — after random
+  relocations the output stream still validates with balanced scopes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.river import (
+    Deployment,
+    Host,
+    PassThrough,
+    Pipeline,
+    PipelineSegment,
+    PlacementError,
+    QoSMonitor,
+    QueueChannel,
+    ScopeType,
+    StationScheduler,
+    Subtype,
+    close_scope,
+    data_record,
+    end_of_stream,
+    open_scope,
+    validate_stream,
+)
+
+# -- strategies ----------------------------------------------------------------
+
+host_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=10_000.0, allow_nan=False),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+station_keys = st.lists(
+    st.one_of(st.integers(min_value=0, max_value=40), st.sampled_from("abcdefgh")),
+    min_size=0,
+    max_size=30,
+)
+
+station_weights = st.dictionaries(
+    st.integers(min_value=0, max_value=25),
+    st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+    max_size=20,
+)
+
+
+def make_hosts(specs, force_available: bool = False) -> list[Host]:
+    return [
+        Host(f"host-{i}", speed=speed, available=available or force_available)
+        for i, (speed, available) in enumerate(specs)
+    ]
+
+
+def make_scheduler(specs, force_available: bool = False) -> StationScheduler:
+    scheduler = StationScheduler()
+    for host in make_hosts(specs, force_available):
+        scheduler.add_host(host)
+    return scheduler
+
+
+# -- partition invariants ------------------------------------------------------
+
+
+class TestPartitionProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(specs=host_specs, stations=station_keys)
+    def test_never_assigns_an_unavailable_host(self, specs, stations):
+        scheduler = make_scheduler(specs)
+        available = {h.name for h in scheduler.hosts.values() if h.available}
+        if not available:
+            with pytest.raises(PlacementError, match="unavailable"):
+                scheduler.partition(stations or ["station"])
+            return
+        mapping = scheduler.partition(stations)
+        assert set(mapping) == set(stations)
+        assert set(mapping.values()) <= available
+
+    @settings(max_examples=100, deadline=None)
+    @given(specs=host_specs, weights=station_weights)
+    def test_backlog_stays_within_documented_bound(self, specs, weights):
+        scheduler = make_scheduler(specs, force_available=True)
+        scheduler.partition(weights)
+        if not weights:
+            return
+        max_group = max(weights.values())
+        hosts = list(scheduler.hosts.values())
+        loads = {h.name: scheduler.loads.get(h.name, 0.0) for h in hosts}
+        for a in hosts:
+            for b in hosts:
+                assert loads[a.name] / a.speed <= (
+                    loads[b.name] / b.speed + max_group / b.speed + 1e-9
+                ), (
+                    f"backlog bound violated: {a.name} carries "
+                    f"{loads[a.name] / a.speed:.4f}s of work but {b.name} only "
+                    f"{loads[b.name] / b.speed:.4f}s (max group {max_group})"
+                )
+
+    @settings(max_examples=50, deadline=None)
+    @given(specs=host_specs, stations=station_keys)
+    def test_partition_is_deterministic(self, specs, stations):
+        first = make_scheduler(specs, force_available=True).partition(stations)
+        second = make_scheduler(specs, force_available=True).partition(stations)
+        assert first == second
+        # ...and insensitive to the order the stations are presented in.
+        third = make_scheduler(specs, force_available=True).partition(
+            list(reversed(stations))
+        )
+        assert first == third
+
+    @settings(max_examples=50, deadline=None)
+    @given(specs=host_specs, stations=station_keys)
+    def test_stations_are_sticky_across_calls(self, specs, stations):
+        scheduler = make_scheduler(specs, force_available=True)
+        first = scheduler.partition(stations)
+        second = scheduler.partition(stations)
+        assert first == second
+        for key in stations:
+            assert scheduler.host_for(key) == first[key]
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=host_specs)
+    def test_sticky_station_moves_when_its_host_fails(self, specs):
+        scheduler = make_scheduler(specs, force_available=True)
+        chosen = scheduler.host_for("station-x")
+        scheduler.hosts[chosen].available = False
+        if any(h.available for h in scheduler.hosts.values()):
+            moved = scheduler.host_for("station-x")
+            assert moved != chosen
+            assert scheduler.hosts[moved].available
+        else:
+            with pytest.raises(PlacementError):
+                scheduler.host_for("station-x")
+
+    def test_negative_weight_rejected(self):
+        scheduler = make_scheduler([(100.0, True)])
+        with pytest.raises(PlacementError, match="negative"):
+            scheduler.partition({"s": -1.0})
+
+    def test_sticky_lookups_do_not_inflate_load(self):
+        """Regression: repeated host_for() on one station used to re-accrue
+        its weight each call, pushing all later stations onto other hosts."""
+        scheduler = make_scheduler([(1000.0, True), (1000.0, True)])
+        first = scheduler.host_for("A")
+        for _ in range(5):
+            assert scheduler.host_for("A") == first
+        assert sum(scheduler.loads.values()) == pytest.approx(1.0)
+        mapping = scheduler.partition(["B", "C", "D", "E"])
+        per_host = {}
+        for host in [first] + list(mapping.values()):
+            per_host[host] = per_host.get(host, 0) + 1
+        # 5 stations over 2 equal hosts: a 3/2 split, never 1/4.
+        assert sorted(per_host.values()) == [2, 3]
+
+
+# -- deployment integration ----------------------------------------------------
+
+
+def clip_like_stream(rng, clips=2, records_per_clip=5, record_size=32):
+    records = []
+    for c in range(clips):
+        records.append(
+            open_scope(0, ScopeType.CLIP.value, context={"clip_index": c})
+        )
+        for i in range(records_per_clip):
+            records.append(
+                data_record(
+                    rng.normal(size=record_size),
+                    subtype=Subtype.AUDIO.value,
+                    scope=1,
+                    scope_type=ScopeType.CLIP.value,
+                    sequence=i,
+                )
+            )
+        records.append(close_scope(0, ScopeType.CLIP.value))
+    records.append(end_of_stream())
+    return records
+
+
+def chained_deployment(host_speeds, segment_count=3, batch_size=4):
+    deployment = Deployment(batch_size=batch_size)
+    for index, speed in enumerate(host_speeds):
+        deployment.add_host(Host(f"host-{index}", speed=speed))
+    upstream = QueueChannel()
+    segments = []
+    for index in range(segment_count):
+        segment = PipelineSegment(
+            name=f"seg-{index}",
+            pipeline=Pipeline([PassThrough()]),
+            input_channel=upstream,
+            output_channel=QueueChannel(),
+        )
+        segments.append(segment)
+        upstream = segment.output_channel
+    return deployment, segments
+
+
+class TestSchedulerDeploymentIntegration:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        speeds=st.lists(
+            st.floats(min_value=10.0, max_value=5000.0, allow_nan=False),
+            min_size=2,
+            max_size=4,
+        ),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        steps_before=st.integers(min_value=0, max_value=6),
+    )
+    def test_relocation_preserves_scope_integrity_mid_run(
+        self, speeds, seed, steps_before
+    ):
+        rng = np.random.default_rng(seed)
+        deployment, segments = chained_deployment(speeds)
+        scheduler = StationScheduler.for_deployment(deployment)
+        scheduler.place_segments(
+            deployment, [(segment.name, segment) for segment in segments]
+        )
+        for record in clip_like_stream(rng, clips=3):
+            segments[0].input_channel.put(record)
+        for _ in range(steps_before):
+            deployment.step_all()
+        # Relocate a random segment to a random available host mid-run.
+        victim = segments[int(rng.integers(len(segments)))].name
+        hosts = sorted(h.name for h in deployment.hosts.values() if h.available)
+        deployment.relocate(victim, hosts[int(rng.integers(len(hosts)))])
+        deployment.run()
+        outputs = list(segments[-1].drain_output())
+        assert validate_stream(outputs) == []
+        assert outputs[-1].is_end
+
+    def test_place_segments_spreads_by_station_key(self):
+        deployment, segments = chained_deployment([1000.0, 1000.0, 1000.0])
+        scheduler = StationScheduler.for_deployment(deployment)
+        placed = scheduler.place_segments(
+            deployment, [(f"station-{i}", seg) for i, seg in enumerate(segments)]
+        )
+        assert set(placed) == {seg.name for seg in segments}
+        # Equal-speed hosts and unit weights: the greedy partition puts the
+        # three station groups on three distinct hosts.
+        assert len(set(placed.values())) == 3
+
+    def test_spread_replicas_uses_distinct_hosts_and_groups(self):
+        deployment, segments = chained_deployment([4000.0, 2000.0, 1000.0])
+        scheduler = StationScheduler.for_deployment(deployment)
+        placed = scheduler.spread_replicas(deployment, segments, group="features")
+        assert len(set(placed.values())) == len(segments)
+        # Fastest host gets the first replica.
+        assert placed[segments[0].name] == "host-0"
+        assert all(
+            deployment.groups[segment.name] == "features" for segment in segments
+        )
+
+    def test_qos_recommendations_avoid_sibling_replica_hosts(self):
+        # Two replicas on slow hosts, one fast empty host, one fast host
+        # already occupied by the sibling: the overloaded replica must be
+        # steered to the empty fast host, not on top of its sibling.
+        deployment = Deployment(batch_size=1)
+        deployment.add_host(Host("slow-a", speed=10.0))
+        deployment.add_host(Host("fast-busy", speed=10_000.0))
+        deployment.add_host(Host("fast-free", speed=9_000.0))
+        replica_a = PipelineSegment(
+            name="stage-r0",
+            pipeline=Pipeline([PassThrough()]),
+            input_channel=QueueChannel(),
+            output_channel=QueueChannel(),
+        )
+        replica_b = PipelineSegment(
+            name="stage-r1",
+            pipeline=Pipeline([PassThrough()]),
+            input_channel=QueueChannel(),
+            output_channel=QueueChannel(),
+        )
+        deployment.place(replica_a, "slow-a", group="stage")
+        deployment.place(replica_b, "fast-busy", group="stage")
+        rng = np.random.default_rng(0)
+        for record in clip_like_stream(rng, clips=2, records_per_clip=40):
+            replica_a.input_channel.put(record)
+        monitor = QoSMonitor(backlog_threshold=5)
+        recommendations = monitor.recommend(deployment)
+        assert recommendations.get("stage-r0") == "fast-free"
+
+    def test_rebalance_applies_group_aware_moves(self):
+        deployment = Deployment(batch_size=2)
+        deployment.add_host(Host("slow", speed=10.0))
+        deployment.add_host(Host("fast", speed=10_000.0))
+        upstream = PipelineSegment(
+            name="up",
+            pipeline=Pipeline([PassThrough()]),
+            input_channel=QueueChannel(),
+            output_channel=QueueChannel(),
+        )
+        downstream = PipelineSegment(
+            name="down",
+            pipeline=Pipeline([PassThrough()]),
+            input_channel=upstream.output_channel,
+            output_channel=QueueChannel(),
+        )
+        deployment.place(upstream, "fast")
+        deployment.place(downstream, "slow", group="stage")
+        rng = np.random.default_rng(1)
+        for record in clip_like_stream(rng, clips=5, records_per_clip=40):
+            upstream.input_channel.put(record)
+        scheduler = StationScheduler.for_deployment(deployment)
+        monitor = QoSMonitor(backlog_threshold=10)
+        deployment.run(monitor=monitor)
+        moves = scheduler.rebalance(deployment, monitor)
+        if moves:
+            assert deployment.placement["down"] == "fast"
+
+
+class TestDeploymentStallRegression:
+    def test_all_hosts_unavailable_raises_placement_error(self):
+        """Regression: ``run`` used to return as if drained when every host
+        was unavailable, leaving running segments stuck forever."""
+        deployment, segments = chained_deployment([100.0, 100.0])
+        scheduler = StationScheduler.for_deployment(deployment)
+        scheduler.place_segments(
+            deployment, [(segment.name, segment) for segment in segments]
+        )
+        rng = np.random.default_rng(2)
+        for record in clip_like_stream(rng, clips=1):
+            segments[0].input_channel.put(record)
+        for host in deployment.hosts.values():
+            host.available = False
+        with pytest.raises(PlacementError, match="stalled"):
+            deployment.run()
+
+    def test_partial_outage_with_stranded_segment_raises(self):
+        """Regression: with only ONE host down, a running segment stranded
+        on it (starving the rest of the chain) used to return silently."""
+        deployment, segments = chained_deployment([100.0, 100.0])
+        deployment.place(segments[0], "host-0")
+        deployment.place(segments[1], "host-1")
+        deployment.place(segments[2], "host-1")
+        rng = np.random.default_rng(4)
+        for record in clip_like_stream(rng, clips=1):
+            segments[0].input_channel.put(record)
+        deployment.hosts["host-0"].available = False  # host-1 stays up
+        with pytest.raises(PlacementError, match="stalled"):
+            deployment.run()
+
+    def test_bounded_channels_throttle_instead_of_crashing(self):
+        """A bounded channel between a fast producer and a slow consumer
+        must backpressure the producer (hold records in its outbox, stop
+        consuming input) rather than crash the run with ChannelFull."""
+        from repro.river import ChannelFull
+
+        deployment = Deployment(batch_size=16)
+        deployment.add_host(Host("fast", speed=4000.0))
+        deployment.add_host(Host("slow", speed=50.0))
+        bounded = QueueChannel(capacity=4)
+        producer = PipelineSegment(
+            name="producer",
+            pipeline=Pipeline([PassThrough()]),
+            input_channel=QueueChannel(),
+            output_channel=bounded,
+        )
+        consumer = PipelineSegment(
+            name="consumer",
+            pipeline=Pipeline([PassThrough()]),
+            input_channel=bounded,
+            output_channel=QueueChannel(),
+        )
+        deployment.place(producer, "fast")
+        deployment.place(consumer, "slow")
+        rng = np.random.default_rng(5)
+        records = clip_like_stream(rng, clips=3, records_per_clip=30)
+        for record in records:
+            producer.input_channel.put(record)
+        try:
+            deployment.run()
+        except ChannelFull as exc:  # pragma: no cover - the regression
+            pytest.fail(f"bounded channel crashed the deployment: {exc}")
+        assert deployment.finished
+        outputs = list(consumer.drain_output())
+        assert validate_stream(outputs) == []
+        assert len(outputs) == len(records)
+        assert producer.pending_output == 0
+
+    def test_qos_backlog_sees_through_bounded_channels(self):
+        """A full bounded channel must not cap the reported backlog: the
+        producer's held-back outbox counts toward the consumer's backlog,
+        so overload detection still works under backpressure."""
+        deployment = Deployment(batch_size=64)
+        deployment.add_host(Host("only", speed=1000.0))
+        bounded = QueueChannel(capacity=2)
+        producer = PipelineSegment(
+            name="producer",
+            pipeline=Pipeline([PassThrough()]),
+            input_channel=QueueChannel(),
+            output_channel=bounded,
+        )
+        consumer = PipelineSegment(
+            name="consumer",
+            pipeline=Pipeline([PassThrough()]),
+            input_channel=bounded,
+            output_channel=QueueChannel(),
+        )
+        deployment.place(producer, "only")
+        deployment.place(consumer, "only")
+        rng = np.random.default_rng(6)
+        for record in clip_like_stream(rng, clips=1, records_per_clip=20):
+            producer.input_channel.put(record)
+        producer.step(16)  # fills the bounded channel, rest lands in the outbox
+        assert producer.pending_output > 0
+        monitor = QoSMonitor(backlog_threshold=2)
+        reports = {r.segment: r for r in monitor.observe(deployment)}
+        assert reports["consumer"].backlog == 2 + producer.pending_output
+        # Without the outbox the consumer's visible backlog would equal the
+        # channel capacity (2) and never cross the threshold.
+        assert "consumer" in monitor.overloaded(deployment)
+
+    def test_run_still_returns_quietly_when_work_is_done(self):
+        deployment, segments = chained_deployment([100.0])
+        deployment.place(segments[0], "host-0")
+        deployment.place(segments[1], "host-0")
+        deployment.place(segments[2], "host-0")
+        rng = np.random.default_rng(3)
+        for record in clip_like_stream(rng, clips=1):
+            segments[0].input_channel.put(record)
+        deployment.run()
+        assert deployment.finished
+        # Marking hosts unavailable *after* completion must not raise.
+        for host in deployment.hosts.values():
+            host.available = False
+        deployment.run()

@@ -199,6 +199,28 @@ class TestDeployment:
         summary = scope_repair_summary(outputs)
         assert summary.balanced
 
+    def test_run_raises_when_every_host_is_unavailable(self, rng):
+        """Regression: with all hosts marked unavailable, ``run`` used to
+        return quietly as if the pipeline had drained, leaving running
+        segments stuck forever; it must raise PlacementError instead."""
+        deployment, first, second, third = self._three_segment_deployment(rng)
+        deployment.step_all()  # some progress, streams still mid-clip
+        for host in deployment.hosts.values():
+            host.available = False
+        with pytest.raises(PlacementError, match="stalled"):
+            deployment.run()
+
+    def test_run_finishes_when_a_host_recovers(self, rng):
+        deployment, first, second, third = self._three_segment_deployment(rng)
+        for host in deployment.hosts.values():
+            host.available = False
+        with pytest.raises(PlacementError):
+            deployment.run()
+        for host in deployment.hosts.values():
+            host.available = True
+        deployment.run()
+        assert deployment.finished
+
     def test_qos_monitor_reports_backlog(self, rng):
         deployment, first, second, third = self._three_segment_deployment(
             rng, records=clip_like_stream(rng, clips=10, records_per_clip=40)
