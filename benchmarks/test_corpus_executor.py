@@ -17,7 +17,8 @@ import numpy as np
 import pytest
 
 from repro import FAST_EXTRACTION, MesoClassifier
-from repro.pipeline import AcousticPipeline, run_clips_via_river
+from repro.pipeline import AcousticPipeline, deploy_clips_via_river, run_clips_via_river
+from repro.river.transport import transport_available
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +78,43 @@ def test_river_linear_throughput(benchmark, bench_corpus, river_builder):
 def test_river_fan_out_throughput(benchmark, bench_corpus, river_builder):
     results = benchmark.pedantic(
         lambda: run_clips_via_river(river_builder, bench_corpus.clips, fan_out=4),
+        rounds=1,
+        iterations=1,
+    )
+    assert results.ensembles
+
+
+def test_river_simulated_host_throughput(benchmark, bench_corpus, river_builder):
+    """The fan-out graph on simulated hosts (segments + scheduler placement)."""
+    results = benchmark.pedantic(
+        lambda: deploy_clips_via_river(
+            river_builder, bench_corpus.clips, backend="simulated", fan_out=2, hosts=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert results.ensembles
+
+
+@pytest.mark.skipif(
+    not transport_available(), reason="process transport needs loopback TCP"
+)
+def test_river_process_host_throughput(benchmark, bench_corpus, river_builder):
+    """The same fan-out graph on real OS-process hosts over socket channels.
+
+    Records the true cost of process boundaries (serialization + TCP +
+    worker start-up) against the simulated fabric above; on this corpus the
+    win appears once per-host work dominates the wire cost.
+    """
+    results = benchmark.pedantic(
+        lambda: deploy_clips_via_river(
+            river_builder,
+            bench_corpus.clips,
+            backend="process",
+            fan_out=2,
+            hosts=3,
+            stall_timeout=120.0,
+        ),
         rounds=1,
         iterations=1,
     )

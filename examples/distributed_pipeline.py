@@ -13,7 +13,11 @@ the paper highlights as Dynamic River's advantages:
 * **per-stage fan-out** — ``to_river(fan_out=2)`` compiles two feature
   replicas behind a deterministic partition/merge pair, the
   ``StationScheduler`` spreads them over distinct hosts, and the merged
-  output is bit-identical to the linear graph.
+  output is bit-identical to the linear graph;
+* **real OS-process hosts** — the same scheduler-placed fan-out graph
+  deployed with ``deploy(backend="process")``: one worker process per host,
+  TCP socket channels between hosts, and output still bit-identical to the
+  simulated fabric and to batch ``run()``.
 
 Run with:  python examples/distributed_pipeline.py
 """
@@ -173,6 +177,46 @@ def run_fanout_scenario() -> None:
     print()
 
 
+def run_process_scenario() -> None:
+    """Scenario 4: the fan-out graph on real OS processes.
+
+    ``deploy(backend="process")`` compiles the same graph, plans the same
+    scheduler placement, then launches one worker process per host wired
+    with socket channels.  Pick this backend when segment work should
+    actually run in parallel on separate cores (or, with the same wiring,
+    separate machines); pick ``backend="simulated"`` for deterministic
+    experiments, QoS studies and tests — the output is identical either way.
+    """
+    from repro.river.transport import transport_available
+
+    if not transport_available():
+        print("  (skipped: no bindable loopback interface for the process fabric)")
+        print()
+        return
+    rng = np.random.default_rng(11)
+    clips = build_clips(4, rng)
+    for index, clip in enumerate(clips):
+        clip.station_id = f"pole-{index % 2}"
+    pipeline = build_pipeline(rng)
+    hosts = {"field-node": 300.0, "relay": 800.0, "observatory": 4000.0}
+    simulated = pipeline.deploy(
+        clips, backend="simulated", fan_out={"features": 2}, hosts=hosts
+    )
+    processes = pipeline.deploy(
+        clips, backend="process", fan_out={"features": 2}, hosts=hosts
+    )
+    identical = len(processes.ensembles) == len(simulated.ensembles) and all(
+        a.start == b.start and a.end == b.end and np.array_equal(a.samples, b.samples)
+        for a, b in zip(processes.ensembles, simulated.ensembles)
+    )
+    labelled = sorted(set(label for label in processes.labels if label))
+    print(f"  ensembles from the process fabric: {len(processes.ensembles)} "
+          f"(labels: {labelled or '-'})")
+    print(f"  process output bit-identical to the simulated fabric: {identical}")
+    print(f"  labels agree: {processes.labels == simulated.labels}")
+    print()
+
+
 def main() -> None:
     print("=== scenario 1: QoS-driven recomposition (no failures) ===")
     run_scenario(fail_relay=False)
@@ -180,6 +224,8 @@ def main() -> None:
     run_scenario(fail_relay=True)
     print("=== scenario 3: per-stage fan-out placed by the StationScheduler ===")
     run_fanout_scenario()
+    print("=== scenario 4: the same graph on real OS processes (sockets) ===")
+    run_process_scenario()
 
 
 if __name__ == "__main__":

@@ -13,7 +13,8 @@ once with the fluent :class:`AcousticPipeline` builder and then executed
   thread or process backends (``BuiltPipeline.run_corpus`` /
   :class:`CorpusExecutor`), or
 * **distributed** as Dynamic River record operators compiled from the same
-  stages (``to_river()``).
+  stages (``to_river()``), deployable on simulated hosts or on real OS
+  processes over socket channels (``deploy(backend="simulated"|"process")``).
 
 The streaming engine (:mod:`repro.pipeline.streaming`) is exactly invariant
 to chunking, so all three modes agree on the extracted ensembles, patterns
@@ -49,11 +50,14 @@ from .results import (
     SignalChunk,
 )
 from .river_adapter import (
+    DEPLOY_BACKENDS,
     EnsembleMergeOperator,
     EnsemblePartitionOperator,
     EnsembleStageOperator,
     ExtractStageOperator,
     collect_result,
+    deploy_clips_via_river,
+    replica_groups,
     run_clips_via_river,
 )
 from .sources import (
@@ -83,6 +87,7 @@ __all__ = [
     "ClassifyStage",
     "CorpusExecutionError",
     "CorpusExecutor",
+    "DEPLOY_BACKENDS",
     "EnsembleEvent",
     "EnsembleMergeOperator",
     "EnsemblePartitionOperator",
@@ -103,6 +108,8 @@ __all__ = [
     "WavChunkStream",
     "WavDirectorySource",
     "collect_result",
+    "deploy_clips_via_river",
     "rechunk",
+    "replica_groups",
     "run_clips_via_river",
 ]

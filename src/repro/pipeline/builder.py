@@ -220,6 +220,20 @@ class AcousticPipeline:
 
         return compile_to_river(self, name=name, fan_out=fan_out, partition=partition)
 
+    def deploy(self, clips, backend: str = "simulated", **kwargs):
+        """Run ``clips`` through the compiled river graph on a real fabric.
+
+        ``backend="simulated"`` steps the placed segments on cooperative
+        in-process hosts; ``backend="process"`` launches one OS process per
+        host wired with socket channels (see
+        :func:`~repro.pipeline.river_adapter.deploy_clips_via_river` for the
+        remaining keyword options).  Both return the same
+        :class:`PipelineResult` a batch ``run()`` over the clips would.
+        """
+        from .river_adapter import deploy_clips_via_river
+
+        return deploy_clips_via_river(self, clips, backend=backend, **kwargs)
+
 
 class BuiltPipeline:
     """An executable stage graph (produced by :meth:`AcousticPipeline.build`)."""
@@ -272,6 +286,15 @@ class BuiltPipeline:
                 "this pipeline was built without a spec; use AcousticPipeline.to_river"
             )
         return self.spec.to_river(name=name, fan_out=fan_out, partition=partition)
+
+    def deploy(self, clips, backend: str = "simulated", **kwargs):
+        """Deploy this pipeline's compiled graph on a fabric (see
+        :meth:`AcousticPipeline.deploy`)."""
+        if self.spec is None:
+            raise PipelineBuildError(
+                "this pipeline was built without a spec; use AcousticPipeline.deploy"
+            )
+        return self.spec.deploy(clips, backend=backend, **kwargs)
 
     # -- execution -------------------------------------------------------------
 

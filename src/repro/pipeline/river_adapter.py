@@ -46,8 +46,10 @@ import numpy as np
 
 from ..river.operator_base import Operator
 from ..river.operators.io_ops import ClipSource
-from ..river.pipeline import Pipeline as RiverPipeline
-from ..river.placement import station_hash
+from ..river.channels import QueueChannel
+from ..river.errors import PlacementError
+from ..river.pipeline import Pipeline as RiverPipeline, PipelineSegment, split_into_segments
+from ..river.placement import Deployment, Host, StationScheduler, station_hash
 from ..river.records import (
     Record,
     ScopeType,
@@ -73,11 +75,17 @@ __all__ = [
     "EnsembleStageOperator",
     "EnsemblePartitionOperator",
     "EnsembleMergeOperator",
+    "DEPLOY_BACKENDS",
     "compile_to_river",
     "collect_result",
     "decode_ensemble_scope",
+    "deploy_clips_via_river",
+    "replica_groups",
     "run_clips_via_river",
 ]
+
+#: Execution fabrics understood by :func:`deploy_clips_via_river`.
+DEPLOY_BACKENDS = ("simulated", "process")
 
 #: Context keys carrying fan-out routing metadata through a replica chain.
 #: The partition operator writes them, replicas preserve them on transformed
@@ -280,11 +288,18 @@ class EnsembleStageOperator(Operator):
     """
 
     def __init__(
-        self, stage: Stage, name: str | None = None, replica: int | None = None
+        self,
+        stage: Stage,
+        name: str | None = None,
+        replica: int | None = None,
+        group: str | None = None,
     ) -> None:
         super().__init__(name or f"{stage.name}-stage")
         self.stage = stage
         self.replica = replica
+        #: Fan-out group label (the fanned stage's name) — schedulers use it
+        #: to keep sibling replicas on distinct hosts; None outside fan-out.
+        self.fanout_group = group
         self._buffer: list[Record] | None = None
         self._sample_rate: int | None = None
         self._started = False
@@ -620,6 +635,7 @@ def compile_to_river(
                     replica_stage,
                     name=f"{stage.name}-stage-r{replica_index}",
                     replica=replica_index,
+                    group=stage.name,
                 )
             )
         operators.append(EnsembleMergeOperator(name=f"{stage.name}-merge"))
@@ -661,6 +677,135 @@ def collect_result(records: Sequence[Record], sample_rate: int | None = None) ->
             continue
         buffer.append(record)
     return result
+
+
+def replica_groups(segments: Sequence[PipelineSegment]) -> dict[str, str]:
+    """Map fan-out replica segment names to their stage's group label.
+
+    ``compile_to_river`` stamps every replica operator with the fanned
+    stage's name (``EnsembleStageOperator.fanout_group``); a segment whose
+    pipeline contains such an operator belongs to that group.  Reading the
+    stamp — rather than parsing operator names — keeps this in lockstep
+    with however the compiler labels its replicas.  Schedulers use the
+    group label to spread the replicas of one stage across distinct hosts.
+    """
+    groups: dict[str, str] = {}
+    for segment in segments:
+        label = next(
+            (
+                op.fanout_group
+                for op in segment.pipeline.operators
+                if getattr(op, "fanout_group", None)
+            ),
+            None,
+        )
+        if label is not None:
+            groups[segment.name] = label
+    return groups
+
+
+def _coerce_hosts(hosts) -> dict[str, float]:
+    """Normalise the ``hosts`` argument into a name → speed mapping."""
+    if hosts is None:
+        hosts = 2
+    if isinstance(hosts, int):
+        if hosts < 1:
+            raise ValueError(f"hosts must be >= 1, got {hosts}")
+        return {f"host-{index}": 1000.0 for index in range(hosts)}
+    if isinstance(hosts, dict):
+        return {str(name): float(speed) for name, speed in hosts.items()}
+    return {str(name): 1000.0 for name in hosts}
+
+
+def deploy_clips_via_river(
+    pipeline,
+    clips: Sequence[AcousticClip],
+    backend: str = "simulated",
+    hosts=None,
+    fan_out: int | dict[str, int] = 1,
+    partition: str = "station",
+    record_size: int = 4096,
+    channel_capacity: int = 256,
+    stall_timeout: float = 60.0,
+    sample_rate: int | None = None,
+) -> PipelineResult:
+    """Deploy the compiled river graph on a fabric and run the clips through it.
+
+    The same compiled graph — ``to_river(fan_out=...)`` split into per-host
+    segments and placed by a :class:`~repro.river.placement.StationScheduler`
+    (replicas spread across hosts, everything else partitioned sticky by
+    segment name) — runs on the chosen ``backend``:
+
+    * ``"simulated"`` — cooperative :class:`~repro.river.placement.Host`
+      objects stepped round-robin inside this process (deterministic, no OS
+      resources; the fabric used by experiments and most tests);
+    * ``"process"`` — one real OS process per host, wired with TCP
+      :class:`~repro.river.transport.SocketChannel` links between hosts and
+      plain queues within one (the fabric that actually exercises process
+      boundaries, serialization and backpressure over a wire).
+
+    Both fabrics produce bit-identical results — to each other and to batch
+    ``run()`` — because the record stream and operator order are the same;
+    only where the work executes changes.  ``hosts`` is an int (that many
+    equal hosts), an iterable of names, or a ``name -> speed`` mapping
+    (speeds weight the simulated scheduler; the process fabric treats every
+    host as one worker process).
+    """
+    if backend not in DEPLOY_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {', '.join(DEPLOY_BACKENDS)}; got {backend!r}"
+        )
+    host_speeds = _coerce_hosts(hosts)
+    river = pipeline.to_river(fan_out=fan_out, partition=partition)
+    segments = split_into_segments(river)
+    groups = replica_groups(segments)
+    scheduler = StationScheduler(
+        hosts={name: Host(name, speed=speed) for name, speed in host_speeds.items()}
+    )
+    plan = scheduler.plan(segments, groups)
+    source = ClipSource(list(clips), record_size=record_size)
+    rate = sample_rate or (int(clips[0].sample_rate) if clips else None)
+    if backend == "process":
+        from ..river.transport import ProcessDeployment
+
+        deployment = ProcessDeployment(
+            segments,
+            plan,
+            channel_capacity=channel_capacity,
+            stall_timeout=stall_timeout,
+        )
+        outputs = deployment.run(source.generate())
+        return collect_result(outputs, sample_rate=rate)
+    deployment = Deployment()
+    for name, speed in host_speeds.items():
+        deployment.add_host(Host(name, speed=speed))
+    # Bound the inter-segment channels like the socket fabric does (the feed
+    # channel stays unbounded — the whole source is enqueued up front — and
+    # the tail stays unbounded because run() has no consumer for it).
+    for upstream, downstream in zip(segments, segments[1:]):
+        bounded = QueueChannel(capacity=channel_capacity)
+        upstream.rewire(output_channel=bounded)
+        downstream.rewire(input_channel=bounded)
+    for segment in segments:
+        deployment.place(segment, plan[segment.name], group=groups.get(segment.name))
+    for record in source.generate():
+        segments[0].input_channel.put(record)
+    outputs: list = []
+    max_rounds = 100_000
+    while True:
+        rounds = deployment.run(max_rounds=max_rounds)
+        outputs.extend(segments[-1].drain_output())
+        if deployment.finished:
+            break
+        if rounds < max_rounds:
+            # A zero-progress round with segments still running: nothing in
+            # the deployment can change any more, so returning the partial
+            # drain as a result would be silent truncation.
+            stuck = ", ".join(s.name for s in segments if not s.finished)
+            raise PlacementError(
+                f"simulated deployment stalled before finishing: {stuck}"
+            )
+    return collect_result(outputs, sample_rate=rate)
 
 
 def run_clips_via_river(

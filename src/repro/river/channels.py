@@ -26,7 +26,7 @@ import numpy as np
 
 from .errors import ChannelClosed, ChannelFull
 from .records import Record
-from .serialization import pack_record, unpack_record
+from .serialization import frame_record, pack_record, unframe_record, unpack_record
 
 __all__ = ["Channel", "QueueChannel", "ByteChannel", "SimulatedLinkChannel", "LinkStats"]
 
@@ -105,7 +105,13 @@ class QueueChannel(Channel):
 
 @dataclass
 class ByteChannel(Channel):
-    """FIFO channel that round-trips every record through the wire format."""
+    """FIFO channel that round-trips every record through the wire format.
+
+    Records are encoded with the exact stream framing real socket transports
+    use (:func:`~repro.river.serialization.frame_record`, length prefix
+    included), so a record crossing a ``ByteChannel`` exercises the same
+    bytes it would crossing a :class:`~repro.river.transport.SocketChannel`.
+    """
 
     _queue: deque = field(default_factory=deque, repr=False)
     _closed: bool = field(default=False, repr=False)
@@ -114,7 +120,7 @@ class ByteChannel(Channel):
     def put(self, record: Record) -> None:
         if self._closed:
             raise ChannelClosed("cannot put on a closed channel")
-        blob = pack_record(record)
+        blob = frame_record(record)
         self.bytes_transferred += len(blob)
         self._queue.append(blob)
 
@@ -123,7 +129,7 @@ class ByteChannel(Channel):
             if self._closed:
                 raise ChannelClosed("channel is closed and drained")
             return None
-        record, _ = unpack_record(self._queue.popleft())
+        record, _ = unframe_record(self._queue.popleft())
         return record
 
     def close(self) -> None:

@@ -6,8 +6,11 @@ __all__ = [
     "RiverError",
     "ScopeError",
     "SerializationError",
+    "ChannelError",
     "ChannelClosed",
     "ChannelFull",
+    "ChannelSendError",
+    "ChannelReceiveError",
     "PlacementError",
 ]
 
@@ -24,12 +27,26 @@ class SerializationError(RiverError):
     """Raised when a record cannot be packed or unpacked."""
 
 
-class ChannelClosed(RiverError):
+class ChannelError(RiverError):
+    """Base class for channel failures (closed, full, or transport loss)."""
+
+
+class ChannelClosed(ChannelError):
     """Raised when reading from or writing to a closed channel."""
 
 
-class ChannelFull(RiverError):
+class ChannelFull(ChannelError):
     """Raised when putting on a bounded channel whose capacity is exhausted."""
+
+
+class ChannelSendError(ChannelError):
+    """Raised when a transport channel cannot deliver a record to its peer
+    (broken socket, reset connection, flush timeout)."""
+
+
+class ChannelReceiveError(ChannelError):
+    """Raised when a transport channel receives a corrupt or truncated
+    stream (peer died mid-frame, connection reset while reading)."""
 
 
 class PlacementError(RiverError):

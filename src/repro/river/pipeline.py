@@ -173,6 +173,30 @@ class PipelineSegment:
         self._outbox.append(record)
         self._drain_outbox()
 
+    def rewire(
+        self,
+        input_channel: Channel | None = None,
+        output_channel: Channel | None = None,
+    ) -> "PipelineSegment":
+        """Swap the segment's channels before it has processed anything.
+
+        Deployment fabrics use this to attach their own transport — the
+        process transport rebuilds a pickled segment inside a worker and
+        rewires it onto socket / queue channels.  Rewiring a segment that
+        already consumed records would silently strand whatever its old
+        channels still hold, so that is refused.
+        """
+        if self.records_processed or self._outbox or self.state != SegmentState.RUNNING:
+            raise ValueError(
+                f"segment {self.name!r} has already processed records; "
+                "rewire is only valid on a fresh segment"
+            )
+        if input_channel is not None:
+            self.input_channel = input_channel
+        if output_channel is not None:
+            self.output_channel = output_channel
+        return self
+
     # -- execution -----------------------------------------------------------
 
     def step(self, max_records: int = 1) -> int:

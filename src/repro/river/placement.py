@@ -510,14 +510,51 @@ class StationScheduler:
         label, so :meth:`QoSMonitor.recommend` keeps them spread during
         later relocations.
         """
-        ranked = sorted(self._available(), key=lambda h: (-h.speed, h.name))
+        segments = list(segments)
+        mapping = self.plan(segments, groups={s.name: group for s in segments})
         placed: dict[str, str] = {}
-        for index, segment in enumerate(segments):
-            host = ranked[index % len(ranked)]
-            deployment.place(segment, host.name, group=group)
-            self.loads[host.name] = self.loads.get(host.name, 0.0) + 1.0
-            placed[segment.name] = host.name
+        for segment in segments:
+            deployment.place(segment, mapping[segment.name], group=group)
+            placed[segment.name] = mapping[segment.name]
         return placed
+
+    def plan(
+        self,
+        segments: Iterable[PipelineSegment],
+        groups: Mapping[str, str] | None = None,
+    ) -> dict[str, str]:
+        """Plan a placement (segment name → host name) without a deployment.
+
+        This is the fabric-independent core of replica spreading
+        (:meth:`spread_replicas` delegates here): the simulated
+        :class:`Deployment` and the real
+        :class:`~repro.river.transport.ProcessDeployment` both consume the
+        returned mapping, so the *same* compiled graph lands on the same
+        hosts regardless of which fabric executes it.  ``groups`` maps
+        replica segment names to their fan-out group label; each group's
+        replicas are spread across distinct hosts (fastest first, wrapping
+        only when replicas outnumber hosts), and every remaining segment is
+        assigned sticky-deterministically by :meth:`partition` keyed on its
+        name.
+        """
+        segments = list(segments)
+        groups = dict(groups or {})
+        plan: dict[str, str] = {}
+        by_group: dict[str, list[PipelineSegment]] = {}
+        for segment in segments:
+            label = groups.get(segment.name)
+            if label is not None:
+                by_group.setdefault(label, []).append(segment)
+        ranked = sorted(self._available(), key=lambda h: (-h.speed, h.name))
+        for label in sorted(by_group):
+            for index, segment in enumerate(by_group[label]):
+                host = ranked[index % len(ranked)]
+                plan[segment.name] = host.name
+                self.loads[host.name] = self.loads.get(host.name, 0.0) + 1.0
+        for segment in segments:
+            if segment.name not in plan:
+                plan[segment.name] = self.host_for(segment.name)
+        return plan
 
     def rebalance(
         self, deployment: Deployment, monitor: QoSMonitor

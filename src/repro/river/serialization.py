@@ -9,6 +9,15 @@ format is deliberately simple and self-describing:
 The header JSON carries every header field plus the payload dtype and shape;
 the payload is the raw little-endian array bytes.  JSON keeps the format
 debuggable; the payload stays binary so audio does not balloon in size.
+
+For byte-stream transports (TCP sockets, files) a record is additionally
+*framed* with a 4-byte little-endian length prefix: :func:`frame_record`
+produces ``len (I) | packed record`` and :class:`RecordFrameDecoder`
+incrementally reassembles records from arbitrarily-chunked byte pieces.
+Every channel that moves records as bytes — :class:`~repro.river.channels.
+ByteChannel` and :class:`~repro.river.transport.SocketChannel` — shares this
+one framing, so a record crossing an in-process byte channel is encoded
+bit-for-bit like a record crossing a real socket.
 """
 
 from __future__ import annotations
@@ -22,12 +31,26 @@ import numpy as np
 from .errors import SerializationError
 from .records import Record, RecordType
 
-__all__ = ["pack_record", "unpack_record", "pack_stream", "unpack_stream", "MAGIC", "VERSION"]
+__all__ = [
+    "pack_record",
+    "unpack_record",
+    "pack_stream",
+    "unpack_stream",
+    "frame_record",
+    "unframe_record",
+    "RecordFrameDecoder",
+    "MAGIC",
+    "VERSION",
+    "FRAME_PREFIX",
+]
 
 MAGIC = b"DRIV"
 VERSION = 1
 
 _PREFIX = struct.Struct("<4sBI")
+
+#: Length prefix for framed records on byte-stream transports.
+FRAME_PREFIX = struct.Struct("<I")
 
 
 def pack_record(record: Record) -> bytes:
@@ -101,6 +124,73 @@ def unpack_record(blob: bytes) -> tuple[Record, int]:
         context=header.get("context", {}),
     )
     return record, consumed
+
+
+def frame_record(record: Record) -> bytes:
+    """Serialise one record with the length-prefixed stream framing.
+
+    This is the single wire encoding shared by every byte-stream channel:
+    ``4-byte little-endian length | pack_record bytes``.
+    """
+    blob = pack_record(record)
+    return FRAME_PREFIX.pack(len(blob)) + blob
+
+
+def unframe_record(blob: bytes) -> tuple[Record, int]:
+    """Deserialise one framed record from the front of ``blob``.
+
+    Returns the record and the total bytes consumed (prefix included).
+    Raises :class:`SerializationError` when the frame is incomplete.
+    """
+    if len(blob) < FRAME_PREFIX.size:
+        raise SerializationError("truncated frame: missing length prefix")
+    (length,) = FRAME_PREFIX.unpack_from(blob, 0)
+    end = FRAME_PREFIX.size + length
+    if len(blob) < end:
+        raise SerializationError(
+            f"truncated frame: prefix announces {length} bytes, "
+            f"only {len(blob) - FRAME_PREFIX.size} present"
+        )
+    record, consumed = unpack_record(blob[FRAME_PREFIX.size : end])
+    if consumed != length:
+        raise SerializationError(
+            f"corrupt frame: prefix announces {length} bytes but the record "
+            f"consumed {consumed}"
+        )
+    return record, end
+
+
+class RecordFrameDecoder:
+    """Incrementally reassemble framed records from a chunked byte stream.
+
+    Feed it whatever a socket ``recv`` (or any other byte source) delivers —
+    pieces may split frames anywhere, including inside the length prefix —
+    and it returns every record completed so far.  ``pending_bytes`` exposes
+    how much of an unfinished frame is buffered, which transports use to
+    distinguish a clean end of stream from a peer that died mid-record.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes of an incomplete frame currently buffered."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Record]:
+        """Absorb ``data`` and return the records it completed."""
+        self._buffer.extend(data)
+        records: list[Record] = []
+        while len(self._buffer) >= FRAME_PREFIX.size:
+            (length,) = FRAME_PREFIX.unpack_from(self._buffer, 0)
+            end = FRAME_PREFIX.size + length
+            if len(self._buffer) < end:
+                break
+            record, _ = unpack_record(bytes(self._buffer[FRAME_PREFIX.size : end]))
+            del self._buffer[:end]
+            records.append(record)
+        return records
 
 
 def pack_stream(records: list[Record]) -> bytes:

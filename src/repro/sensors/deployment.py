@@ -130,3 +130,17 @@ class SensorDeployment:
     def station_ids(self) -> list[str]:
         """The distinct stations that delivered at least one clip (sorted)."""
         return sorted({capture.station_id for capture in self.captures})
+
+    def run_pipeline(self, pipeline, backend: str = "simulated", **deploy_kwargs):
+        """Analyse every delivered clip on a deployed river fabric.
+
+        ``pipeline`` is an :class:`~repro.pipeline.builder.AcousticPipeline`
+        (or built pipeline with a spec); the delivered corpus — clips from
+        all stations interleaved in delivery order, each tagged with its
+        ``station_id`` — is streamed through the compiled graph on the
+        chosen fabric (``"simulated"`` hosts or real OS processes, see
+        :meth:`~repro.pipeline.builder.AcousticPipeline.deploy`).  This is
+        the full observatory loop: field recording and wireless delivery in
+        simulated time, then distributed analysis of exactly what arrived.
+        """
+        return pipeline.deploy(self.delivered_clips(), backend=backend, **deploy_kwargs)

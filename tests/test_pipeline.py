@@ -491,6 +491,58 @@ class TestFanOutRiverParity:
         assert "classify-stage" in names
 
 
+class TestDeployEntryPoint:
+    """deploy(backend=...) — the same compiled graph on a chosen fabric.
+
+    The simulated backend is exercised here (no OS resources needed); the
+    process backend's bit-parity lives in tests/test_transport.py."""
+
+    def test_simulated_deploy_matches_batch_run(self, trained_builder, station_corpus):
+        ensembles, labels = [], []
+        pipe = trained_builder.build()
+        for clip in station_corpus:
+            result = pipe.run(clip)
+            ensembles.extend(result.ensembles)
+            labels.extend(result.labels)
+        deployed = trained_builder.deploy(
+            station_corpus, backend="simulated", fan_out=2, hosts=3
+        )
+        assert_same_ensembles(ensembles, deployed.ensembles)
+        assert labels == deployed.labels
+
+    def test_built_pipeline_delegates_to_spec(self, trained_builder, station_corpus):
+        built = trained_builder.build()
+        deployed = built.deploy(station_corpus, backend="simulated", hosts=2)
+        reference = trained_builder.deploy(station_corpus, backend="simulated", hosts=2)
+        assert_same_ensembles(reference.ensembles, deployed.ensembles)
+        assert reference.labels == deployed.labels
+
+    def test_unknown_backend_and_bad_hosts_rejected(self, trained_builder, station_corpus):
+        with pytest.raises(ValueError, match="backend"):
+            trained_builder.deploy(station_corpus, backend="sideways")
+        with pytest.raises(ValueError, match="hosts"):
+            trained_builder.deploy(station_corpus, backend="simulated", hosts=0)
+
+    def test_sensor_deployment_runs_delivered_clips_on_the_fabric(self):
+        from repro.sensors import SensorDeployment, SensorStation, StationConfig, WirelessLink
+
+        deployment = SensorDeployment()
+        config = StationConfig(
+            station_id="pole", clip_interval=600.0, clip_duration=4.0,
+            sample_rate=8000, species=("NOCA",), songs_per_clip=1.0,
+        )
+        deployment.add_station(SensorStation(config=config, seed=5), WirelessLink(seed=5))
+        deployment.run_for(1200.0)
+        assert deployment.delivered_clips(), "expected delivered clips"
+        builder = AcousticPipeline().extract(FAST_EXTRACTION, keep_traces=False)
+        result = deployment.run_pipeline(builder, backend="simulated", hosts=2)
+        reference = builder.build()
+        expected = []
+        for clip in deployment.delivered_clips():
+            expected.extend(reference.run(clip).ensembles)
+        assert_same_ensembles(expected, result.ensembles)
+
+
 class TestGlobalNormalizationMode:
     def test_matches_legacy_extractor_exactly(self, song_clip):
         legacy = EnsembleExtractor(FAST_EXTRACTION).extract_clip(song_clip)

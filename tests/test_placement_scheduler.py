@@ -328,6 +328,61 @@ class TestSchedulerDeploymentIntegration:
             assert deployment.placement["down"] == "fast"
 
 
+class TestFabricPlan:
+    """``StationScheduler.plan`` — the fabric-independent placement that the
+    simulated Deployment and the process transport both consume."""
+
+    @staticmethod
+    def _segments(names):
+        return [
+            PipelineSegment(name=name, pipeline=Pipeline([PassThrough(name)]))
+            for name in names
+        ]
+
+    def test_plan_covers_every_segment_and_is_deterministic(self):
+        names = ["extract-stage", "features-stage", "classify-stage"]
+        plans = []
+        for _ in range(2):
+            scheduler = make_scheduler([(1000.0, True), (2000.0, True)])
+            plans.append(scheduler.plan(self._segments(names)))
+        assert plans[0] == plans[1]
+        assert set(plans[0]) == set(names)
+
+    def test_grouped_replicas_spread_across_distinct_hosts(self):
+        names = ["extract-stage", "features-stage-r0", "features-stage-r1", "merge"]
+        groups = {"features-stage-r0": "features", "features-stage-r1": "features"}
+        scheduler = make_scheduler([(1000.0, True), (1000.0, True), (1000.0, True)])
+        plan = scheduler.plan(self._segments(names), groups)
+        assert plan["features-stage-r0"] != plan["features-stage-r1"]
+
+    @given(specs=host_specs)
+    @settings(max_examples=50, deadline=None)
+    def test_plan_never_uses_an_unavailable_host(self, specs):
+        scheduler = make_scheduler(specs)
+        segments = self._segments(["a-stage", "b-stage-r0", "b-stage-r1", "c-stage"])
+        groups = {"b-stage-r0": "b", "b-stage-r1": "b"}
+        available = {h.name for h in scheduler.hosts.values() if h.available}
+        if not available:
+            with pytest.raises(PlacementError):
+                scheduler.plan(segments, groups)
+            return
+        plan = scheduler.plan(segments, groups)
+        assert set(plan.values()) <= available
+
+    def test_plan_drives_both_fabric_shapes(self):
+        """The plan applies cleanly to a simulated Deployment (the process
+        transport consumes the identical mapping as plain names)."""
+        scheduler = make_scheduler([(1000.0, True), (1000.0, True)])
+        segments = self._segments(["first-stage", "second-stage"])
+        plan = scheduler.plan(segments)
+        deployment = Deployment()
+        for host in scheduler.hosts.values():
+            deployment.add_host(host)
+        for segment in segments:
+            deployment.place(segment, plan[segment.name])
+        assert deployment.placement == plan
+
+
 class TestDeploymentStallRegression:
     def test_all_hosts_unavailable_raises_placement_error(self):
         """Regression: ``run`` used to return as if drained when every host

@@ -204,6 +204,23 @@ class TestChannels:
         np.testing.assert_allclose(received.payload, record.payload)
         assert received.context == {"offset": 3}
 
+    def test_byte_channel_uses_the_shared_stream_framing(self, rng):
+        """Regression: ByteChannel must encode with frame_record — the exact
+        length-prefixed framing socket transports use — not its own format."""
+        from repro.river import frame_record, unframe_record
+
+        record = data_record(rng.normal(size=32), sequence=5, context={"offset": 9})
+        channel = ByteChannel()
+        channel.put(record)
+        framed = frame_record(record)
+        assert channel.bytes_transferred == len(framed)
+        restored, consumed = unframe_record(framed)
+        assert consumed == len(framed)
+        received = channel.get()
+        np.testing.assert_array_equal(received.payload, restored.payload)
+        assert received.context == restored.context == record.context
+        assert received.sequence == restored.sequence == record.sequence
+
     def test_simulated_link_accounts_transfer_time(self, rng):
         link = SimulatedLinkChannel(bandwidth=1000.0, latency=0.01, seed=1)
         link.put(data_record(rng.normal(size=100)))

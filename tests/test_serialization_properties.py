@@ -1,0 +1,168 @@
+"""Property tests for the record wire format and the stream framing.
+
+Satellite contract for the process transport: *any* record the engine can
+produce — every record type, every scope type, int / float payloads of any
+shape including zero-length, JSON context of nested values — survives
+``pack_record``/``unpack_record`` and ``pack_stream``/``unpack_stream``
+exactly, and the length-prefixed framing used by ``ByteChannel`` and
+``SocketChannel`` reassembles records from arbitrarily-chunked byte streams
+no matter where the chunk boundaries fall.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.river import (
+    Record,
+    RecordFrameDecoder,
+    RecordType,
+    ScopeType,
+    SerializationError,
+    Subtype,
+    frame_record,
+    pack_record,
+    pack_stream,
+    unframe_record,
+    unpack_record,
+    unpack_stream,
+)
+
+# -- strategies ----------------------------------------------------------------
+
+#: JSON-representable context values; floats stay finite because JSON's
+#: NaN does not compare equal after a round trip.
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False, width=64)
+    | st.text(max_size=12),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=6), children, max_size=3),
+    max_leaves=8,
+)
+
+contexts = st.dictionaries(st.text(max_size=10), json_values, max_size=4)
+
+payload_dtypes = st.sampled_from(["<i4", "<i8", "<f4", "<f8"])
+
+
+def _elements(dtype: np.dtype):
+    if dtype.kind == "f":
+        return st.floats(
+            allow_nan=False, allow_infinity=False, width=8 * dtype.itemsize
+        )
+    info = np.iinfo(dtype)
+    return st.integers(min_value=int(info.min), max_value=int(info.max))
+
+
+payloads = st.none() | payload_dtypes.flatmap(
+    lambda code: hnp.arrays(
+        dtype=np.dtype(code),
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=0, max_side=6),
+        elements=_elements(np.dtype(code)),
+    )
+)
+
+records = st.builds(
+    Record,
+    record_type=st.sampled_from(list(RecordType)),
+    subtype=st.sampled_from([member.value for member in Subtype]) | st.text(max_size=10),
+    scope=st.integers(min_value=0, max_value=7),
+    scope_type=st.sampled_from([member.value for member in ScopeType]),
+    sequence=st.integers(min_value=0, max_value=2**31),
+    payload=payloads,
+    context=contexts,
+)
+
+
+def assert_records_equal(a: Record, b: Record) -> None:
+    assert a.record_type == b.record_type
+    assert a.subtype == b.subtype
+    assert a.scope == b.scope
+    assert a.scope_type == b.scope_type
+    assert a.sequence == b.sequence
+    assert a.context == b.context
+    if a.payload is None:
+        assert b.payload is None
+    else:
+        assert b.payload is not None
+        assert a.payload.dtype == b.payload.dtype
+        assert a.payload.shape == b.payload.shape
+        np.testing.assert_array_equal(a.payload, b.payload)
+
+
+# -- properties ----------------------------------------------------------------
+
+
+class TestRecordRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(record=records)
+    def test_pack_unpack_is_exact(self, record):
+        blob = pack_record(record)
+        unpacked, consumed = unpack_record(blob)
+        assert consumed == len(blob)
+        assert_records_equal(record, unpacked)
+
+    @settings(max_examples=40, deadline=None)
+    @given(batch=st.lists(records, max_size=5))
+    def test_stream_round_trip_preserves_order_and_content(self, batch):
+        blob = pack_stream(batch)
+        unpacked = list(unpack_stream(blob))
+        assert len(unpacked) == len(batch)
+        for original, restored in zip(batch, unpacked):
+            assert_records_equal(original, restored)
+
+
+class TestFramedTransport:
+    @settings(max_examples=40, deadline=None)
+    @given(record=records)
+    def test_unframe_inverts_frame(self, record):
+        blob = frame_record(record)
+        restored, consumed = unframe_record(blob)
+        assert consumed == len(blob)
+        assert_records_equal(record, restored)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batch=st.lists(records, min_size=1, max_size=4),
+        chunk_size=st.integers(min_value=1, max_value=37),
+    )
+    def test_decoder_survives_arbitrary_chunking(self, batch, chunk_size):
+        """Chunk boundaries may fall anywhere — inside the length prefix,
+        the header, the payload — without changing a single record."""
+        stream = b"".join(frame_record(record) for record in batch)
+        decoder = RecordFrameDecoder()
+        restored: list[Record] = []
+        for start in range(0, len(stream), chunk_size):
+            restored.extend(decoder.feed(stream[start : start + chunk_size]))
+        assert decoder.pending_bytes == 0
+        assert len(restored) == len(batch)
+        for original, decoded in zip(batch, restored):
+            assert_records_equal(original, decoded)
+
+    @settings(max_examples=40, deadline=None)
+    @given(record=records, cut=st.integers(min_value=0, max_value=10_000))
+    def test_truncated_frame_is_rejected_not_misread(self, record, cut):
+        blob = frame_record(record)
+        truncated = blob[: min(cut, len(blob) - 1)]
+        with pytest.raises(SerializationError):
+            unframe_record(truncated)
+
+    def test_zero_length_payload_survives_the_wire(self):
+        record = Record(
+            record_type=RecordType.DATA,
+            subtype=Subtype.LABEL.value,
+            payload=np.zeros(0),
+            context={"label": "NOCA"},
+        )
+        restored, _ = unframe_record(frame_record(record))
+        assert restored.payload is not None
+        assert restored.payload.size == 0
+        assert restored.payload.dtype == np.float64
+        assert restored.context == {"label": "NOCA"}
