@@ -1,0 +1,133 @@
+"""Time-to-first-pattern and peak memory: buffered vs fragment extraction.
+
+A long vocalisation is a worst case for the buffered pipeline: nothing is
+emitted until the trigger drops, so the time to the first classification
+pattern grows with the ensemble and the cutter holds the whole run in
+memory.  Fragment mode bounds both.  This benchmark streams one long
+synthetic ensemble through both modes and records
+
+* the stream position (seconds) at which the first pattern was available,
+  relative to when the ensemble opened and closed — fragment mode must be
+  strictly below the ensemble duration;
+* the ``tracemalloc`` peak of the streaming loop — fragment mode must stay
+  well below the buffered peak, which scales with the run length.
+
+The timings land in the non-blocking CI bench job's ``bench-results.json``
+via pytest-benchmark; the latency/memory numbers ride along in
+``extra_info``.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import FAST_EXTRACTION
+from repro.pipeline import AcousticPipeline, EnsembleFragmentEvent, FeaturesEvent
+
+SAMPLE_RATE = 16000
+CHUNK = 2048
+
+#: A large hangover bridges score dips so the whole burst stays one run.
+LONG_RUN_CONFIG = replace(
+    FAST_EXTRACTION, trigger=replace(FAST_EXTRACTION.trigger, hangover=8000)
+)
+
+
+@pytest.fixture(scope="module")
+def long_ensemble_stream():
+    """20 s of noise floor containing one ~10 s wandering-chirp ensemble."""
+    rng = np.random.default_rng(5)
+    signal = 0.05 * rng.standard_normal(20 * SAMPLE_RATE)
+    n = 10 * SAMPLE_RATE
+    t = np.arange(n) / SAMPLE_RATE
+    chirp = np.sin(2 * np.pi * (800 + 600 * np.sin(2 * np.pi * 0.7 * t)) * t)
+    signal[5 * SAMPLE_RATE : 5 * SAMPLE_RATE + n] += chirp * (
+        0.6 + 0.4 * np.sin(2 * np.pi * 3.1 * t)
+    )
+    return signal
+
+
+def _builder(mode: str) -> AcousticPipeline:
+    if mode == "fragment":
+        return (
+            AcousticPipeline()
+            .extract(LONG_RUN_CONFIG, keep_traces=False, emit="fragments")
+            .features(use_paa=True, emit="patterns")
+        )
+    return AcousticPipeline().extract(LONG_RUN_CONFIG, keep_traces=False).features(use_paa=True)
+
+
+def _stream_once(builder: AcousticPipeline, signal: np.ndarray) -> dict:
+    """One pass over the stream, recording latency and memory markers."""
+    pipe = builder.build()
+    extract = pipe.stages[0]
+    chunks = (signal[i : i + CHUNK] for i in range(0, signal.size, CHUNK))
+    first_pattern_at = None
+    ensemble_open_at = None
+    ensemble_close_at = None
+    patterns = 0
+    tracemalloc.start()
+    for event in pipe.extract_stream(chunks, sample_rate=SAMPLE_RATE):
+        position = extract.samples_seen
+        if isinstance(event, EnsembleFragmentEvent):
+            if event.kind == "open" and ensemble_open_at is None:
+                ensemble_open_at = position
+            elif event.kind == "close" and ensemble_close_at is None:
+                ensemble_close_at = position
+        elif isinstance(event, FeaturesEvent) and event.patterns:
+            patterns += len(event.patterns)
+            if first_pattern_at is None:
+                first_pattern_at = position
+            if event.ensemble is not None and ensemble_close_at is None:
+                # Buffered mode: the terminal event marks the close.
+                ensemble_open_at = ensemble_open_at or event.ensemble.start
+                ensemble_close_at = position
+    peak_bytes = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+    assert patterns > 0, "expected patterns from the planted ensemble"
+    assert first_pattern_at is not None and ensemble_close_at is not None
+    return {
+        "first_pattern_s": first_pattern_at / SAMPLE_RATE,
+        "ensemble_open_s": (ensemble_open_at or 0) / SAMPLE_RATE,
+        "ensemble_close_s": ensemble_close_at / SAMPLE_RATE,
+        "patterns": patterns,
+        "peak_bytes": peak_bytes,
+    }
+
+
+def test_streaming_latency_and_memory(benchmark, long_ensemble_stream):
+    buffered = _stream_once(_builder("buffered"), long_ensemble_stream)
+    fragment = _stream_once(_builder("fragment"), long_ensemble_stream)
+
+    # Both modes see the same ensemble and the same number of patterns.
+    assert fragment["patterns"] == buffered["patterns"]
+
+    # Buffered mode cannot produce a pattern before the ensemble closes;
+    # fragment mode must beat the ensemble duration strictly.
+    assert buffered["first_pattern_s"] >= buffered["ensemble_close_s"]
+    ensemble_duration = fragment["ensemble_close_s"] - fragment["ensemble_open_s"]
+    lead = fragment["ensemble_close_s"] - fragment["first_pattern_s"]
+    assert ensemble_duration > 5.0, "the planted run should span seconds"
+    assert lead > 0.5 * ensemble_duration, (
+        f"fragment mode produced its first pattern only {lead:.2f}s before "
+        f"the close of a {ensemble_duration:.2f}s ensemble"
+    )
+
+    # Peak memory: buffered scales with the run; fragment mode must not.
+    assert fragment["peak_bytes"] < 0.5 * buffered["peak_bytes"], (
+        f"fragment peak {fragment['peak_bytes']} vs buffered {buffered['peak_bytes']}"
+    )
+
+    result = benchmark.pedantic(
+        _stream_once, args=(_builder("fragment"), long_ensemble_stream), rounds=1, iterations=1
+    )
+    benchmark.extra_info["buffered_first_pattern_s"] = round(buffered["first_pattern_s"], 3)
+    benchmark.extra_info["fragment_first_pattern_s"] = round(fragment["first_pattern_s"], 3)
+    benchmark.extra_info["ensemble_duration_s"] = round(ensemble_duration, 3)
+    benchmark.extra_info["buffered_peak_bytes"] = buffered["peak_bytes"]
+    benchmark.extra_info["fragment_peak_bytes"] = fragment["peak_bytes"]
+    assert result["patterns"] == buffered["patterns"]

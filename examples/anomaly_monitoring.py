@@ -7,9 +7,12 @@ monitors a continuous stream containing rare impulsive events (slamming
 doors / engine passes stand-ins) buried in background noise and compares
 three detectors on the same stream:
 
-* streaming ensemble extraction via ``extract_stream()`` — the pipeline
-  consumes the stream chunk by chunk with carry-over state, exactly as an
-  on-station deployment would, and never holds the full signal in memory,
+* streaming ensemble extraction via ``extract_stream()`` in **fragment
+  mode** — the pipeline consumes the stream chunk by chunk with carry-over
+  state, exactly as an on-station deployment would, never holds the full
+  signal (or even a full ensemble) in memory, and prints each
+  classification pattern's latency the moment its records exist — while
+  the ensemble is still open,
 * a fixed-threshold energy segmenter (the obvious baseline),
 * offline discord discovery (HOT SAX) from related work.
 
@@ -24,6 +27,7 @@ import numpy as np
 
 from repro import AcousticPipeline, FAST_EXTRACTION
 from repro.baselines import EnergySegmenter
+from repro.pipeline import EnsembleFragmentEvent, FeaturesEvent
 from repro.synth import noise as noise_gen
 from repro.timeseries import find_discord, find_motifs
 
@@ -78,16 +82,35 @@ def main() -> None:
     stream, events = build_stream(rng)
     print(f"monitoring stream: {DURATION:.0f}s, {len(events)} planted events\n")
 
-    # 1. Streaming ensemble extraction: the pipeline sees 4096-sample chunks,
-    #    one at a time, and emits each ensemble the moment it completes.
-    pipe = AcousticPipeline().extract(MONITORING, keep_traces=False).build()
+    # 1. Streaming ensemble extraction in fragment mode: the pipeline sees
+    #    4096-sample chunks one at a time; each detected event streams out
+    #    as open/data/close fragments while it is still in progress, and
+    #    every pattern is emitted as soon as its records exist — with
+    #    memory bounded by O(chunk), not O(event length).
+    pipe = (
+        AcousticPipeline()
+        .extract(MONITORING, keep_traces=False, emit="fragments")
+        .features(emit="patterns")
+        .build()
+    )
+    extract = pipe.stages[0]
     chunks = (stream[i : i + CHUNK] for i in range(0, stream.size, CHUNK))
     ensemble_intervals = []
     kept = 0
+    open_start = None
+    print("per-pattern latency (pattern ready while the event is still open):")
     for event in pipe.extract_stream(chunks, sample_rate=SAMPLE_RATE):
-        ensemble = event.ensemble
-        ensemble_intervals.append((ensemble.start, ensemble.end))
-        kept += ensemble.length
+        if isinstance(event, EnsembleFragmentEvent) and event.kind == "open":
+            open_start = event.start
+        elif isinstance(event, FeaturesEvent) and event.partial and open_start is not None:
+            latency = (extract.samples_seen - open_start) / SAMPLE_RATE
+            print(f"  event @ {open_start / SAMPLE_RATE:6.2f}s: pattern ready "
+                  f"{latency:5.2f}s after onset")
+        elif isinstance(event, EnsembleFragmentEvent) and event.kind == "close":
+            ensemble_intervals.append((event.start, event.end))
+            kept += event.end - event.start
+            open_start = None
+    print()
 
     # 2. Fixed-threshold energy segmentation baseline (needs the whole array).
     segmenter = EnergySegmenter(window=512, threshold_ratio=6.0, min_duration=400)
@@ -115,7 +138,8 @@ def main() -> None:
 
     reduction = 1.0 - kept / stream.size
     print(f"\nstreaming extraction kept {kept / stream.size:.1%} of the stream "
-          f"({reduction:.1%} reduction) without ever holding it in memory")
+          f"({reduction:.1%} reduction) without ever holding the stream — or "
+          f"even one whole event — in memory")
 
 
 if __name__ == "__main__":

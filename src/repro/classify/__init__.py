@@ -2,7 +2,7 @@
 
 from .confusion import ConfusionMatrix
 from .crossval import EvaluationItem, ExperimentResult, leave_one_out, resubstitution
-from .features import LabelledPattern, PatternExtractor
+from .features import IncrementalPatternBuilder, LabelledPattern, PatternExtractor
 from .metrics import AccuracySummary, accuracy, summarize
 from .voting import majority_vote, predict_patterns, vote_ensemble
 
@@ -11,6 +11,7 @@ __all__ = [
     "ConfusionMatrix",
     "EvaluationItem",
     "ExperimentResult",
+    "IncrementalPatternBuilder",
     "LabelledPattern",
     "PatternExtractor",
     "accuracy",

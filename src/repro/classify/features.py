@@ -21,7 +21,7 @@ from ..dsp.window_functions import get_window
 from ..timeseries.normalize import znormalize
 from ..timeseries.paa import paa_by_factor
 
-__all__ = ["PatternExtractor", "LabelledPattern"]
+__all__ = ["PatternExtractor", "IncrementalPatternBuilder", "LabelledPattern"]
 
 
 @dataclass(frozen=True)
@@ -97,22 +97,6 @@ class PatternExtractor:
             banded = paa_by_factor(banded, self.config.paa_factor)
         return banded
 
-    def _reslice(self, samples: np.ndarray) -> list[np.ndarray]:
-        """Split an ensemble into 50 %-overlapped records of ``record_size``.
-
-        Mirrors the ``reslice`` operator: between every pair of consecutive
-        records an extra record straddling their boundary is produced, which
-        is equivalent to hopping by half a record.
-        """
-        size = self.config.record_size
-        hop = size // 2
-        records = []
-        start = 0
-        while start + size <= samples.size:
-            records.append(samples[start : start + size])
-            start += hop
-        return records
-
     def _normalize_pattern(self, pattern: np.ndarray) -> np.ndarray:
         if self.log_compress:
             pattern = np.log1p(self.log_gain * np.abs(pattern))
@@ -125,17 +109,18 @@ class PatternExtractor:
 
     # -- public API ----------------------------------------------------------
 
+    def builder(self) -> "IncrementalPatternBuilder":
+        """A fresh incremental builder computing this extractor's patterns."""
+        return IncrementalPatternBuilder(self)
+
     def patterns_from_samples(self, samples: np.ndarray) -> list[np.ndarray]:
-        """Patterns from a raw sample array (one ensemble's worth of audio)."""
-        arr = np.asarray(samples, dtype=float).ravel()
-        records = self._reslice(arr)
-        freq_records = [self._frequency_record(record) for record in records]
-        group = self.config.records_per_pattern
-        patterns = []
-        for start in range(0, len(freq_records) - group + 1, group):
-            merged = np.concatenate(freq_records[start : start + group])
-            patterns.append(self._normalize_pattern(merged))
-        return patterns
+        """Patterns from a raw sample array (one ensemble's worth of audio).
+
+        A thin wrapper over :class:`IncrementalPatternBuilder` fed the whole
+        array as a single slice — bit-identical to feeding the same samples
+        in fragments of any size.
+        """
+        return self.builder().push(samples)
 
     def patterns_from_ensemble(self, ensemble: Ensemble) -> list[np.ndarray]:
         """Patterns from an :class:`Ensemble` (label not attached)."""
@@ -165,3 +150,71 @@ class PatternExtractor:
             if indices:
                 groups.append(indices)
         return patterns, groups
+
+
+@dataclass
+class IncrementalPatternBuilder:
+    """Causal, fragment-by-fragment pattern construction.
+
+    The streaming counterpart of :meth:`PatternExtractor.patterns_from_samples`:
+    audio arrives in arbitrary slices, records are resliced causally with a
+    carry-over buffer across slice boundaries, one frequency record is
+    computed per completed 50 %-overlapped record, and a finished pattern is
+    yielded every ``records_per_pattern`` records — *while the ensemble is
+    still open*.  Feeding the whole ensemble as one slice reproduces the
+    batch output bit-for-bit, so the two paths are interchangeable.
+
+    Peak memory is O(``record_size`` + ``records_per_pattern`` ×
+    ``bins_per_record``) — independent of ensemble length: the carry buffer
+    never holds more than ``record_size - 1`` samples and at most
+    ``records_per_pattern - 1`` frequency records wait to be merged.
+    Trailing records that never complete a full pattern group are dropped,
+    exactly like the batch grouping drops them.
+    """
+
+    extractor: PatternExtractor
+
+    def __post_init__(self) -> None:
+        self.reset()
+
+    @property
+    def records_built(self) -> int:
+        """Number of frequency records completed so far."""
+        return self._records_built
+
+    @property
+    def patterns_built(self) -> int:
+        """Number of finished patterns yielded so far."""
+        return self._patterns_built
+
+    def push(self, samples: np.ndarray) -> list[np.ndarray]:
+        """Absorb one audio slice; return the patterns it completed."""
+        arr = np.asarray(samples, dtype=float).ravel()
+        if arr.size == 0:
+            return []
+        buffer = np.concatenate([self._carry, arr]) if self._carry.size else arr
+        size = self.extractor.config.record_size
+        hop = size // 2
+        group = self.extractor.config.records_per_pattern
+        patterns: list[np.ndarray] = []
+        start = 0
+        while start + size <= buffer.size:
+            self._freq_records.append(
+                self.extractor._frequency_record(buffer[start : start + size])
+            )
+            self._records_built += 1
+            if len(self._freq_records) == group:
+                merged = np.concatenate(self._freq_records)
+                patterns.append(self.extractor._normalize_pattern(merged))
+                self._freq_records = []
+                self._patterns_built += 1
+            start += hop
+        self._carry = buffer[start:].copy()
+        return patterns
+
+    def reset(self) -> None:
+        """Drop all carried state (sample carry-over and pending records)."""
+        self._carry = np.zeros(0)
+        self._freq_records: list[np.ndarray] = []
+        self._records_built = 0
+        self._patterns_built = 0

@@ -31,6 +31,16 @@ class ExtractionResult:
     trigger: np.ndarray
     sample_rate: int
     total_samples: int
+    #: Ensembles too short to yield a single classification pattern under
+    #: the extraction config's feature settings (whether an ensemble
+    #: produces patterns is a pure function of its length: it needs at
+    #: least ``record_size + (record_size // 2) * (records_per_pattern - 1)``
+    #: samples).  Reported so short ensembles can be surfaced instead of
+    #: silently vanishing from the experiment tables; the per-run and
+    #: per-corpus counterparts are
+    #: :attr:`repro.pipeline.PipelineResult.short_ensembles` and
+    #: :attr:`repro.experiments.datasets.ExperimentData.short_ensembles`.
+    short_ensembles: int = 0
 
     @property
     def retained_samples(self) -> int:
@@ -108,12 +118,17 @@ class EnsembleExtractor:
         ensembles = cut_ensembles(
             arr, trigger, rate, min_duration=self.config.trigger.min_duration
         )
+        features = self.config.features
+        pattern_span = features.record_size + (features.record_size // 2) * (
+            features.records_per_pattern - 1
+        )
         return ExtractionResult(
             ensembles=ensembles,
             anomaly_scores=scores,
             trigger=trigger,
             sample_rate=rate,
             total_samples=arr.size,
+            short_ensembles=sum(1 for e in ensembles if e.length < pattern_span),
         )
 
     def extract_clip(self, clip: AcousticClip) -> ExtractionResult:

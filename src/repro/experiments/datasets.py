@@ -102,6 +102,10 @@ class ExperimentData:
     #: Data-reduction bookkeeping for the Section 4 claim.
     total_samples: int = 0
     retained_samples: int = 0
+    #: Labelled ensembles too short to yield a single pattern (and therefore
+    #: absent from every data set above).  Reported so the tables can show
+    #: how many validated ensembles the feature pipeline dropped.
+    short_ensembles: int = 0
 
     @property
     def reduction_percent(self) -> float:
@@ -189,6 +193,11 @@ def build_experiment_data(
             config=config.features, sample_rate=config.sample_rate, use_paa=use_paa
         )
         patterns, groups = extractor_cfg.labelled_patterns(ensembles)
+        if not use_paa:
+            # Ensembles shorter than one pattern group produce no entry in
+            # ``groups``; count them so the tables can report the drop
+            # (PAA changes bins per record, never the record grouping).
+            data.short_ensembles = len(ensembles) - len(groups)
         ensemble_items = [
             EvaluationItem(
                 label=patterns[group[0]].label,

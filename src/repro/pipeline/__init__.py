@@ -20,6 +20,18 @@ The streaming engine (:mod:`repro.pipeline.streaming`) is exactly invariant
 to chunking, so all three modes agree on the extracted ensembles, patterns
 and labels.  New stages plug in through the :data:`STAGES` registry.
 
+**Incremental ensemble fragments.**  By default a trigger-high run is
+buffered until it closes; ``extract(emit="fragments")`` instead streams each
+run as open / data / close fragment events *while it is still open*, and the
+feature stage computes patterns incrementally from the fragments (emitting a
+partial per-pattern event as soon as each pattern's records exist).  With
+``features(emit="patterns")`` nothing is ever reassembled, so per-ensemble
+peak memory is bounded by O(chunk + records_per_pattern × bins_per_record)
+instead of O(run length), and the time to the first pattern of an ensemble
+no longer waits for the ensemble to end.  Fragment mode is available on
+every backend — batch, ``extract_stream()``, simulated river and process
+river — and its final output is bit-identical to buffered mode.
+
 Quickstart::
 
     from repro import FAST_EXTRACTION, MesoClassifier
@@ -44,6 +56,7 @@ from .registry import STAGES, StageRegistry
 from .results import (
     ClassifiedEvent,
     EnsembleEvent,
+    EnsembleFragmentEvent,
     FeaturesEvent,
     PipelineEvent,
     PipelineResult,
@@ -73,7 +86,15 @@ from .stages import (
     FeatureStage,
     Stage,
 )
-from .streaming import ChunkedAnomalyScorer, ChunkedCutter, RunningNormalizer, rechunk
+from .streaming import (
+    ChunkedAnomalyScorer,
+    ChunkedCutter,
+    FragmentClose,
+    FragmentData,
+    FragmentOpen,
+    RunningNormalizer,
+    rechunk,
+)
 
 __all__ = [
     "AcousticPipeline",
@@ -89,6 +110,7 @@ __all__ = [
     "CorpusExecutor",
     "DEPLOY_BACKENDS",
     "EnsembleEvent",
+    "EnsembleFragmentEvent",
     "EnsembleMergeOperator",
     "EnsemblePartitionOperator",
     "EnsembleStageOperator",
@@ -96,6 +118,9 @@ __all__ = [
     "ExtractStageOperator",
     "FeatureStage",
     "FeaturesEvent",
+    "FragmentClose",
+    "FragmentData",
+    "FragmentOpen",
     "PipelineBuildError",
     "PipelineEvent",
     "PipelineResult",

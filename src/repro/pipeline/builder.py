@@ -63,14 +63,24 @@ class AcousticPipeline:
         hop: int = 16,
         normalization: str = "running",
         keep_traces: bool = True,
+        max_trace_samples: int | None = None,
+        emit: str = "ensembles",
     ) -> "AcousticPipeline":
-        """Add the saxanomaly → trigger → cutter extraction stage."""
+        """Add the saxanomaly → trigger → cutter extraction stage.
+
+        ``emit="fragments"`` streams each trigger-high run as incremental
+        fragment events while it is still open (see
+        :class:`~repro.pipeline.stages.ExtractStage`); ``max_trace_samples``
+        bounds the kept score/trigger traces on unbounded streams.
+        """
         return self.stage(
             "extract",
             config=config,
             hop=hop,
             normalization=normalization,
             keep_traces=keep_traces,
+            max_trace_samples=max_trace_samples,
+            emit=emit,
         )
 
     def features(
@@ -81,8 +91,16 @@ class AcousticPipeline:
         normalize: str = "max",
         log_compress: bool = True,
         log_gain: float = 100.0,
+        emit: str = "ensembles",
     ) -> "AcousticPipeline":
-        """Add the spectro-temporal feature (pattern) stage."""
+        """Add the spectro-temporal feature (pattern) stage.
+
+        ``emit`` selects what happens at a fragment stream's close:
+        ``"ensembles"`` (default) reassembles and emits the terminal
+        whole-ensemble event exactly like the buffered path, while
+        ``"patterns"`` keeps memory bounded by never reassembling (see
+        :class:`~repro.pipeline.stages.FeatureStage`).
+        """
         return self.stage(
             "features",
             config=config,
@@ -90,6 +108,7 @@ class AcousticPipeline:
             normalize=normalize,
             log_compress=log_compress,
             log_gain=log_gain,
+            emit=emit,
         )
 
     def classify(self, classifier) -> "AcousticPipeline":
@@ -133,6 +152,19 @@ class AcousticPipeline:
                 )
             if names.index("classify") < names.index("features"):
                 raise PipelineBuildError("classify must come after features")
+            kwargs = dict(self._specs)
+            if (
+                kwargs.get("extract", {}).get("emit") == "fragments"
+                and kwargs.get("features", {}).get("emit") == "patterns"
+            ):
+                # Nothing would ever be classified: voting consumes terminal
+                # whole-ensemble feature events, which this mode never emits.
+                raise PipelineBuildError(
+                    "features(emit='patterns') never reassembles an ensemble, "
+                    "so classify would silently label nothing on a fragment "
+                    "stream; use features(emit='ensembles') (the default) "
+                    "with extract(emit='fragments')"
+                )
 
     def instantiate(self, only=None, **overrides) -> list[Stage]:
         """Create fresh stage instances from the declared specs.
@@ -311,13 +343,16 @@ class BuiltPipeline:
         extract = self.extract_stage
         scores, trigger = extract.traces() if extract is not None else (None, None)
         total = extract.samples_seen if extract is not None else 0
-        return PipelineResult.from_events(
+        result = PipelineResult.from_events(
             events,
             sample_rate=rate,
             total_samples=total,
             anomaly_scores=scores,
             trigger=trigger,
         )
+        if extract is not None:
+            result.trace_offset = extract.trace_offset
+        return result
 
     def run_corpus(
         self,
@@ -353,8 +388,12 @@ class BuiltPipeline:
         the iterator is exhausted.
 
         For genuinely unbounded streams build the pipeline with
-        ``.extract(..., keep_traces=False)`` — trace accumulation is the
-        only per-sample state that grows with stream length.
+        ``.extract(..., keep_traces=False)`` (or bound the traces with
+        ``max_trace_samples=``) — trace accumulation is the only per-sample
+        state that grows with stream length.  To also bound per-*ensemble*
+        memory and latency, use ``.extract(..., emit="fragments")`` with
+        ``.features(emit="patterns")``: patterns then stream out while each
+        ensemble is still open.
         """
         rate = int(sample_rate or self.default_sample_rate)
         return self._execute(chunks, rate)

@@ -26,10 +26,44 @@ __all__ = [
     "PipelineEvent",
     "SignalChunk",
     "EnsembleEvent",
+    "EnsembleFragmentEvent",
     "FeaturesEvent",
     "ClassifiedEvent",
     "PipelineResult",
+    "ensemble_from_fragments",
 ]
+
+
+def ensemble_from_fragments(
+    parts: list[np.ndarray],
+    start: int,
+    end: int | None,
+    sample_rate: int,
+    label: str | None = None,
+) -> Ensemble:
+    """Reassemble fragment audio slices into an :class:`Ensemble`.
+
+    The single reassembly rule shared by every fragment consumer (the
+    feature stage's terminal event, result assembly and the river scope
+    decoder), so the concatenation order and the ``end`` fallback cannot
+    drift apart: when ``end`` is unknown it is derived from the reassembled
+    length, which is exact because fragments tile the run contiguously.
+    """
+    if len(parts) == 1:
+        samples = parts[0]
+    elif parts:
+        samples = np.concatenate(parts)
+    else:
+        samples = np.zeros(0)
+    if end is None:
+        end = start + int(samples.size)
+    return Ensemble(
+        samples=samples,
+        start=int(start),
+        end=int(end),
+        sample_rate=int(sample_rate),
+        label=label,
+    )
 
 
 class PipelineEvent:
@@ -69,11 +103,54 @@ class EnsembleEvent(PipelineEvent):
 
 
 @dataclass(frozen=True)
-class FeaturesEvent(PipelineEvent):
-    """An ensemble plus its spectro-temporal patterns."""
+class EnsembleFragmentEvent(PipelineEvent):
+    """One step of an ensemble streamed as fragments while it is still open.
 
-    ensemble: Ensemble
+    Emitted by ``ExtractStage(emit="fragments")``: ``kind`` is ``"open"``
+    (the trigger-high run reached ``min_duration``), ``"data"`` (a
+    contiguous audio slice of the open ensemble) or ``"close"`` (the run
+    ended at ``end``).  Fragment streams let downstream stages compute
+    patterns with O(slice) memory instead of buffering the whole run.
+    """
+
+    kind: str
+    #: Absolute index of the ensemble's first sample.
+    start: int
+    sample_rate: int
+    #: The audio slice (``kind == "data"`` only).
+    samples: np.ndarray | None = None
+    #: Absolute index of ``samples[0]`` (``kind == "data"`` only).
+    offset: int | None = None
+    #: Absolute index one past the last sample (``kind == "close"`` only).
+    end: int | None = None
+
+    KINDS = ("open", "data", "close")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"kind must be one of {', '.join(self.KINDS)}; got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FeaturesEvent(PipelineEvent):
+    """An ensemble plus its spectro-temporal patterns.
+
+    On the fragment path the feature stage also emits *partial* feature
+    events — one per pattern, as soon as the pattern's records exist, with
+    ``ensemble`` still ``None`` because the ensemble is not closed yet.
+    Terminal events (the ones result assembly and classification consume)
+    always carry the ensemble.
+    """
+
+    ensemble: Ensemble | None
     patterns: tuple[np.ndarray, ...]
+
+    @property
+    def partial(self) -> bool:
+        """True for a streamed per-pattern event of a still-open ensemble."""
+        return self.ensemble is None
 
     @property
     def label(self) -> Hashable | None:
@@ -114,6 +191,16 @@ class PipelineResult:
     #: Smoothed anomaly-score and trigger traces (None when not kept).
     anomaly_scores: np.ndarray | None = None
     trigger: np.ndarray | None = None
+    #: Absolute stream index of ``anomaly_scores[0]`` / ``trigger[0]``: 0
+    #: unless ``max_trace_samples`` evicted older chunks, in which case the
+    #: traces are a stream suffix starting here (index a trace with
+    #: ``ensemble.start - trace_offset``).
+    trace_offset: int = 0
+    #: Ensembles too short to yield a single pattern: the feature stage saw
+    #: them but emitted zero patterns, so they carry no vote downstream.
+    #: They still appear in ``ensembles``; this count lets experiment
+    #: tables report them instead of losing them silently.
+    short_ensembles: int = 0
     #: The raw terminal events, in completion order.
     events: list[PipelineEvent] = field(default_factory=list)
 
@@ -126,16 +213,70 @@ class PipelineResult:
         anomaly_scores: np.ndarray | None = None,
         trigger: np.ndarray | None = None,
     ) -> "PipelineResult":
-        """Assemble a result from a stream of terminal events."""
+        """Assemble a result from a stream of terminal events.
+
+        Fragment streams are folded into per-ensemble rows here, where the
+        full ensembles are wanted anyway: raw fragments (an extraction-only
+        fragment pipeline) are reassembled into audio-carrying ensembles,
+        and streamed partial per-pattern feature events are collected per
+        open ensemble.  When a terminal whole-ensemble event arrives
+        (``features(emit="ensembles")``, the default) it supersedes the
+        collected partials — they are the same patterns — so nothing is
+        double-counted; without one (``features(emit="patterns")``) the
+        close marker becomes a row carrying the streamed patterns and the
+        ensemble's boundaries (its audio was consumed upstream, so the
+        ensemble shell has no samples).
+        """
         result = cls(
             sample_rate=sample_rate,
             total_samples=total_samples,
             anomaly_scores=anomaly_scores,
             trigger=trigger,
         )
+        fragment_parts: list[np.ndarray] = []
+        partial_patterns: list[np.ndarray] = []
+        open_seen = False
+        terminal_seen = False
         for event in events:
+            if isinstance(event, EnsembleFragmentEvent):
+                if event.kind == "open":
+                    fragment_parts = []
+                    partial_patterns = []
+                    open_seen, terminal_seen = True, False
+                elif event.kind == "data" and event.samples is not None:
+                    fragment_parts.append(event.samples)
+                elif event.kind == "close" and open_seen and not terminal_seen:
+                    ensemble = ensemble_from_fragments(
+                        fragment_parts, event.start, event.end, event.sample_rate
+                    )
+                    if not fragment_parts and not partial_patterns:
+                        # A fragment consumer ate the audio and completed
+                        # zero patterns: the run was too short for a single
+                        # pattern group.  Keep the (sample-less) row and
+                        # count it, matching the buffered path exactly.
+                        result.short_ensembles += 1
+                    result.events.append(event)
+                    result.ensembles.append(ensemble)
+                    result.patterns.append(tuple(partial_patterns))
+                    result.labels.append(None)
+                if event.kind == "close":
+                    fragment_parts = []
+                    partial_patterns = []
+                    open_seen = terminal_seen = False
+                continue
             if not isinstance(event, ENSEMBLE_EVENTS):
                 continue
+            if event.ensemble is None:
+                # A streamed per-pattern event of a still-open ensemble:
+                # collect, in case no terminal event follows.
+                partial_patterns.extend(event.patterns)
+                continue
+            # A terminal event re-carries every streamed pattern; remember
+            # that so the trailing close marker does not duplicate the row.
+            partial_patterns = []
+            terminal_seen = True
+            if isinstance(event, (FeaturesEvent, ClassifiedEvent)) and not event.patterns:
+                result.short_ensembles += 1
             result.events.append(event)
             result.ensembles.append(event.ensemble)
             result.patterns.append(tuple(event.patterns))

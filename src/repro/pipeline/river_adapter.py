@@ -8,10 +8,16 @@ wrappers only translate between records and events:
 * :class:`ExtractStageOperator` feeds clip-scoped audio records into the
   extract stage as :class:`~repro.pipeline.results.SignalChunk` events and
   emits each completed ensemble as an ensemble scope
-  (``OpenScope`` / audio data / ``CloseScope``);
+  (``OpenScope`` / audio data / ``CloseScope``) — or, in fragment mode,
+  *streams* the scope while the ensemble is still open (OpenScope at the
+  moment the run proves long enough, FRAGMENT data records as audio
+  arrives, CloseScope when the trigger drops);
 * :class:`EnsembleStageOperator` buffers one ensemble scope at a time,
   rebuilds the event it encodes, passes it through the wrapped stage
   (features, classify or any plugin) and re-emits the enriched scope.
+  Fragmented scopes are not buffered when the wrapped stage consumes
+  fragments: the operator pumps them through, appending FEATURES records
+  to the open scope as each pattern completes.
 
 Per-stage **fan-out** (``to_river(fan_out=k)``) compiles k replicas of a
 per-ensemble stage behind a deterministic partition/merge pair::
@@ -56,19 +62,22 @@ from ..river.records import (
     Subtype,
     close_scope,
     data_record,
+    fragment_record,
     open_scope,
 )
 from ..synth.clips import AcousticClip
 from .results import (
     ClassifiedEvent,
     EnsembleEvent,
+    EnsembleFragmentEvent,
     FeaturesEvent,
     PipelineEvent,
     PipelineResult,
     SignalChunk,
+    ensemble_from_fragments,
 )
 from ..core.cutter import Ensemble
-from .stages import ExtractStage, Stage
+from .stages import ExtractStage, FeatureStage, Stage
 
 __all__ = [
     "ExtractStageOperator",
@@ -120,9 +129,15 @@ def decode_ensemble_scope(
     :func:`collect_result`, so the record encoding produced by
     :func:`event_to_records` has exactly one reader to keep in sync.
     Returns None when the scope carries no audio.
+
+    Both scope shapes decode identically: the buffered form (one AUDIO
+    record with the whole ensemble) and the fragmented form (several
+    FRAGMENT records streamed while the ensemble was open, concatenated
+    here in arrival order).
     """
     opener = records[0]
     audio: np.ndarray | None = None
+    fragments: list[np.ndarray] = []
     patterns: list[np.ndarray] = []
     label_record: Record | None = None
     for record in records[1:]:
@@ -130,11 +145,15 @@ def decode_ensemble_scope(
             continue
         if record.subtype == Subtype.AUDIO.value:
             audio = np.asarray(record.payload, dtype=float).ravel()
+        elif record.subtype == Subtype.FRAGMENT.value:
+            fragments.append(np.asarray(record.payload, dtype=float).ravel())
         elif record.subtype == Subtype.FEATURES.value:
             patterns.append(np.asarray(record.payload, dtype=float).ravel())
         elif record.subtype == Subtype.LABEL.value:
             label_record = record
-    if audio is None:
+    if audio is not None and not fragments:
+        fragments = [audio]
+    if not fragments:
         return None
     context = opener.context
     if label_record is not None:
@@ -142,12 +161,11 @@ def decode_ensemble_scope(
     else:
         label = context.get("label")
     rate = int(context.get("sample_rate", default_rate or 22050))
-    start = int(context.get("start", 0))
-    ensemble = Ensemble(
-        samples=audio,
-        start=start,
-        end=int(context.get("end", start + audio.size)),
-        sample_rate=rate,
+    ensemble = ensemble_from_fragments(
+        fragments,
+        int(context.get("start", 0)),
+        context.get("end"),
+        rate,
         label=label,
     )
     return ensemble, tuple(patterns), label
@@ -159,6 +177,10 @@ def event_to_records(
     """Encode one ensemble-lineage event as a well-formed ensemble scope."""
     ensemble = event.ensemble
     context = _ensemble_context(event, sample_rate)
+    if isinstance(event, (FeaturesEvent, ClassifiedEvent)):
+        # Lets result collectors count short ensembles (a feature stage ran
+        # but the run was too brief for a single pattern).
+        context["n_patterns"] = len(event.patterns)
     records = [
         open_scope(
             scope=depth,
@@ -209,6 +231,14 @@ class ExtractStageOperator(Operator):
     The output stream contains ensembles only (like the classic ``cutter``
     operator): an ensemble scope per completed ensemble, with the clip's
     scope records forwarded around them.
+
+    With ``ExtractStage(emit="fragments")`` the ensemble scopes are
+    *streamed* instead of buffered: the OpenScope goes out the moment a
+    trigger-high run proves long enough (tagged ``fragmented`` in its
+    context), each audio slice follows as a FRAGMENT data record while the
+    run is still open, and the CloseScope goes out when the trigger drops.
+    Downstream operators and collectors decode both scope shapes
+    identically, so fragment mode changes memory and latency, never output.
     """
 
     def __init__(self, stage: ExtractStage, name: str = "extract-stage") -> None:
@@ -218,17 +248,49 @@ class ExtractStageOperator(Operator):
         self._index = 0
         self._offset = 0
         self._in_clip = False
+        self._frag_sequence = 0
 
     def _emit(self, events: list[PipelineEvent]) -> list[Record]:
         records: list[Record] = []
         for event in events:
-            if not isinstance(event, EnsembleEvent):
-                continue
-            records.extend(
-                event_to_records(event, self._depth, self._index, self.stage.sample_rate)
-            )
-            self._index += 1
+            if isinstance(event, EnsembleFragmentEvent):
+                records.extend(self._fragment_records(event))
+            elif isinstance(event, EnsembleEvent):
+                records.extend(
+                    event_to_records(event, self._depth, self._index, self.stage.sample_rate)
+                )
+                self._index += 1
         return records
+
+    def _fragment_records(self, event: EnsembleFragmentEvent) -> list[Record]:
+        if event.kind == "open":
+            self._frag_sequence = 0
+            return [
+                open_scope(
+                    scope=self._depth,
+                    scope_type=ScopeType.ENSEMBLE.value,
+                    sequence=self._index,
+                    context={
+                        "start": int(event.start),
+                        "sample_rate": int(self.stage.sample_rate),
+                        "fragmented": True,
+                    },
+                )
+            ]
+        if event.kind == "data":
+            record = fragment_record(
+                event.samples,
+                scope=self._depth + 1,
+                sequence=self._frag_sequence,
+                context={"start": int(event.start), "offset": int(event.offset)},
+            )
+            self._frag_sequence += 1
+            return [record]
+        record = close_scope(
+            scope=self._depth, scope_type=ScopeType.ENSEMBLE.value, sequence=self._index
+        )
+        self._index += 1
+        return [record]
 
     def _flush_stage(self) -> list[Record]:
         # Flush unconditionally: a trailing open ensemble must be emitted
@@ -275,6 +337,7 @@ class ExtractStageOperator(Operator):
         self._index = 0
         self._offset = 0
         self._in_clip = False
+        self._frag_sequence = 0
 
 
 class EnsembleStageOperator(Operator):
@@ -285,6 +348,15 @@ class EnsembleStageOperator(Operator):
     :data:`ROUTING_REPLICA` context tag matches its index and forwards every
     other record — including sibling replicas' scopes — untouched, so a
     chain of replicas behaves like k parallel operators in a linear stream.
+
+    Scopes tagged ``fragmented`` by an upstream fragment-mode extract
+    operator are not buffered when the wrapped stage consumes fragments
+    (:attr:`~repro.pipeline.stages.Stage.consumes_fragments`): the operator
+    *pumps* instead — the OpenScope and every FRAGMENT record pass straight
+    through while the stage sees the equivalent fragment events, and each
+    pattern the stage completes is appended to the open scope as a FEATURES
+    record the moment it exists.  Stages that need the whole ensemble
+    (classification voting) keep the buffered path.
     """
 
     def __init__(
@@ -303,8 +375,12 @@ class EnsembleStageOperator(Operator):
         self._buffer: list[Record] | None = None
         self._sample_rate: int | None = None
         self._started = False
+        #: Live state of a fragmented scope being pumped (None outside one).
+        self._pump: dict | None = None
 
-    def _decode(self, records: list[Record]) -> PipelineEvent | None:
+    def _decode(
+        self, records: list[Record], close_record: Record | None = None
+    ) -> PipelineEvent | None:
         """Rebuild the event encoded by one buffered ensemble scope."""
         decoded = decode_ensemble_scope(records, default_rate=self._sample_rate)
         if decoded is None:
@@ -312,6 +388,14 @@ class EnsembleStageOperator(Operator):
         ensemble, patterns, _ = decoded
         if patterns:
             return FeaturesEvent(ensemble=ensemble, patterns=patterns)
+        stamped = records[0].context.get("n_patterns")
+        if stamped is None and close_record is not None:
+            stamped = close_record.context.get("n_patterns")
+        if stamped is not None:
+            # A feature stage already ran and built zero patterns (the run
+            # was too short): keep that knowledge as an empty FeaturesEvent
+            # so the short-ensemble count survives re-encoding downstream.
+            return FeaturesEvent(ensemble=ensemble, patterns=())
         return EnsembleEvent(ensemble=ensemble)
 
     def _encode(self, events: list[PipelineEvent], depth: int, index: int) -> list[Record]:
@@ -319,11 +403,87 @@ class EnsembleStageOperator(Operator):
         for event in events:
             if not isinstance(event, (EnsembleEvent, FeaturesEvent, ClassifiedEvent)):
                 continue
+            if event.ensemble is None:
+                # A partial per-pattern event: only meaningful while pumping
+                # a fragmented scope, never as a standalone scope.
+                continue
             rate = event.ensemble.sample_rate
             records.extend(event_to_records(event, depth, index, rate))
         return records
 
+    # -- fragment pumping -----------------------------------------------------
+
+    def _pump_open(self, record: Record) -> list[Record]:
+        context = record.context
+        rate = int(context.get("sample_rate", self._sample_rate or 22050))
+        if not self._started:
+            self._sample_rate = rate
+            self.stage.start(rate)
+            self._started = True
+        start = int(context.get("start", 0))
+        self._pump = {"depth": record.scope, "start": start, "rate": rate, "samples": 0, "features": 0}
+        # The stage only sees markers here; its forwarded events are not
+        # re-encoded (the original records pass through instead).
+        self.stage.process(
+            EnsembleFragmentEvent(kind="open", start=start, sample_rate=rate)
+        )
+        return [record]
+
+    def _pump_record(self, record: Record) -> list[Record]:
+        pump = self._pump
+        assert pump is not None
+        if record.is_close and record.scope_type == ScopeType.ENSEMBLE.value:
+            self._pump = None
+            end = pump["start"] + pump["samples"]
+            close_event = EnsembleFragmentEvent(
+                kind="close",
+                start=pump["start"],
+                sample_rate=pump["rate"],
+                end=max(end, pump["start"] + 1),
+            )
+            # Close the stage's session; terminal events are dropped — their
+            # patterns already streamed out as FEATURES records.
+            self.stage.process(close_event)
+            if not record.is_bad_close and pump["features"] == 0:
+                # Too short for a single pattern: stamp the close so result
+                # collectors can count it (the opener is long gone).
+                record.context = {**record.context, "n_patterns": 0}
+            return [record]
+        if record.is_data and record.subtype == Subtype.FRAGMENT.value:
+            samples = np.asarray(record.payload, dtype=float).ravel()
+            offset = pump["start"] + pump["samples"]
+            pump["samples"] += samples.size
+            outputs = [record]
+            events = self.stage.process(
+                EnsembleFragmentEvent(
+                    kind="data",
+                    start=pump["start"],
+                    sample_rate=pump["rate"],
+                    samples=samples,
+                    offset=offset,
+                )
+            )
+            for event in events:
+                if not isinstance(event, FeaturesEvent):
+                    continue
+                for pattern in event.patterns:
+                    outputs.append(
+                        data_record(
+                            pattern,
+                            subtype=Subtype.FEATURES.value,
+                            scope=pump["depth"] + 1,
+                            scope_type=ScopeType.ENSEMBLE.value,
+                            sequence=pump["features"],
+                            context={"start": pump["start"], "sample_rate": pump["rate"]},
+                        )
+                    )
+                    pump["features"] += 1
+            return outputs
+        return [record]
+
     def process(self, record: Record) -> list[Record]:
+        if self._pump is not None:
+            return self._pump_record(record)
         if self._buffer is not None:
             if record.is_close and record.scope_type == ScopeType.ENSEMBLE.value:
                 buffered = self._buffer
@@ -332,7 +492,7 @@ class EnsembleStageOperator(Operator):
                     # The scope never reached its true close; nothing was
                     # forwarded for it, so nothing needs repairing downstream.
                     return []
-                event = self._decode(buffered)
+                event = self._decode(buffered, close_record=record)
                 if event is None:
                     return []
                 if not self._started:
@@ -355,6 +515,10 @@ class EnsembleStageOperator(Operator):
                 # one): pass through; its inner records follow while our
                 # buffer stays empty, so they pass through too.
                 return [record]
+            if record.context.get("fragmented") and getattr(
+                self.stage, "consumes_fragments", False
+            ):
+                return self._pump_open(record)
             self._buffer = [record]
             return []
         if record.is_open and record.scope_type == ScopeType.CLIP.value:
@@ -384,12 +548,14 @@ class EnsembleStageOperator(Operator):
 
     def flush(self) -> list[Record]:
         self._buffer = None
+        self._pump = None
         return self._encode(self.stage.flush(), depth=0, index=0)
 
     def reset(self) -> None:
         super().reset()
         self.stage.reset()
         self._buffer = None
+        self._pump = None
         self._started = False
 
 
@@ -545,6 +711,21 @@ class EnsembleMergeOperator(Operator):
         self._ordinal_of_current = 0
 
 
+def _prefer_streaming_features(stages: Sequence[Stage]) -> None:
+    """Keep pumped feature stages memory-bounded inside river graphs.
+
+    A pumped :class:`~repro.pipeline.stages.FeatureStage` never needs its
+    terminal whole-ensemble event — the operator streams patterns out as
+    FEATURES records and drops terminal events — so reassembling fragments
+    inside the stage would only buffer audio nobody reads.  Flip freshly
+    instantiated feature stages to ``emit="patterns"``; on buffered (non
+    fragment) graphs the flag has no effect at all.
+    """
+    for stage in stages:
+        if isinstance(stage, FeatureStage):
+            stage.emit = "patterns"
+
+
 def _normalize_fan_out(fan_out, stages: list[Stage]) -> dict[str, int]:
     """Resolve the fan_out argument into a per-stage replica count."""
     per_stage: dict[str, int] = {}
@@ -601,6 +782,7 @@ def compile_to_river(
     corpus order, so the record stream is bit-identical to ``fan_out=1``.
     """
     stages = builder.instantiate(keep_traces=False)
+    _prefer_streaming_features(stages)
     per_stage = _normalize_fan_out(fan_out, stages)
     # One independent instantiation per extra replica slot — of exactly the
     # stage being fanned out — so replica stages never share mutable state
@@ -614,6 +796,8 @@ def compile_to_river(
         for index, stage in enumerate(stages)
         if per_stage.get(stage.name, 1) > 1
     }
+    for spares in spare_stages.values():
+        _prefer_streaming_features(spares)
     operators: list[Operator] = []
     for index, stage in enumerate(stages):
         if isinstance(stage, ExtractStage):
@@ -666,11 +850,30 @@ def collect_result(records: Sequence[Record], sample_rate: int | None = None) ->
         if buffer is None:
             continue
         if record.is_close and record.scope_type == ScopeType.ENSEMBLE.value:
-            decoded = decode_ensemble_scope(buffer, default_rate=result.sample_rate or None)
-            buffer = None
+            opener = buffer[0]
+            scope_records, buffer = buffer, None
+            if record.is_bad_close:
+                # The scope was truncated upstream (worker death, severed
+                # link): a pumped fragment scope may have streamed partial
+                # audio before the repair, but a truncated ensemble must
+                # never masquerade as a real one — buffered mode drops such
+                # scopes before they are ever forwarded.
+                continue
+            decoded = decode_ensemble_scope(
+                scope_records, default_rate=result.sample_rate or None
+            )
             if decoded is None:
                 continue
             ensemble, patterns, label = decoded
+            if not patterns:
+                # A feature stage stamps how many patterns it built (on the
+                # opener for buffered scopes, on the close for pumped ones);
+                # zero means the run was too short for a single pattern.
+                stamped = opener.context.get(
+                    "n_patterns", record.context.get("n_patterns")
+                )
+                if stamped == 0:
+                    result.short_ensembles += 1
             result.ensembles.append(ensemble)
             result.patterns.append(patterns)
             result.labels.append(label)

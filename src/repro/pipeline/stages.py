@@ -18,12 +18,13 @@ classification — and register themselves in the default
 
 from __future__ import annotations
 
-from collections import Counter
+import warnings
+from collections import Counter, deque
 from typing import Hashable
 
 import numpy as np
 
-from ..classify.features import PatternExtractor
+from ..classify.features import IncrementalPatternBuilder, PatternExtractor
 from ..classify.voting import majority_vote, predict_patterns
 from ..config import ExtractionConfig, FeatureConfig
 from ..core.anomaly import sax_anomaly_scores
@@ -32,11 +33,19 @@ from ..core.trigger import AdaptiveTrigger
 from .results import (
     ClassifiedEvent,
     EnsembleEvent,
+    EnsembleFragmentEvent,
     FeaturesEvent,
     PipelineEvent,
     SignalChunk,
+    ensemble_from_fragments,
 )
-from .streaming import ChunkedAnomalyScorer, ChunkedCutter
+from .streaming import (
+    ChunkedAnomalyScorer,
+    ChunkedCutter,
+    FragmentClose,
+    FragmentData,
+    FragmentOpen,
+)
 
 __all__ = [
     "Stage",
@@ -55,6 +64,10 @@ class Stage:
     """Base class for pipeline stages (see module docstring for the contract)."""
 
     name = "stage"
+    #: Whether the stage understands :class:`EnsembleFragmentEvent` streams.
+    #: The Dynamic River adapter pumps fragment records straight through
+    #: operators wrapping such stages instead of buffering whole scopes.
+    consumes_fragments = False
 
     def start(self, sample_rate: int) -> None:
         """Prepare for a new run at the given sample rate."""
@@ -87,9 +100,29 @@ class ExtractStage(Stage):
       whole clip), kept for exact reproduction of the paper experiments.
       Batch-only: feeding more than one chunk raises
       :class:`BatchOnlyStageError`.
+
+    Two emission modes control what a completed trigger-high run becomes:
+
+    * ``emit="ensembles"`` (default) — one buffered
+      :class:`~repro.pipeline.results.EnsembleEvent` per completed run.
+    * ``emit="fragments"`` — the run is streamed as
+      :class:`~repro.pipeline.results.EnsembleFragmentEvent`\\ s *while it
+      is still open* (open / data / close), so downstream stages can start
+      computing patterns before the ensemble ends and per-ensemble peak
+      memory stays O(chunk) instead of O(run length).  Requires
+      ``normalization="running"``.
+
+    Streaming caveat: with ``keep_traces=True`` the per-sample score and
+    trigger traces grow with stream length — unbounded on unbounded
+    streams.  Set ``max_trace_samples`` to keep only the most recent chunks
+    (oldest chunks are dropped with a one-time warning; ``traces()`` then
+    returns a suffix of the stream whose absolute start is
+    :attr:`trace_offset`), or ``keep_traces=False`` to keep none.
     """
 
     name = "extract"
+
+    EMIT_MODES = ("ensembles", "fragments")
 
     def __init__(
         self,
@@ -97,16 +130,36 @@ class ExtractStage(Stage):
         hop: int = 16,
         normalization: str = "running",
         keep_traces: bool = True,
+        max_trace_samples: int | None = None,
+        emit: str = "ensembles",
     ) -> None:
         if normalization not in ("running", "global"):
             raise ValueError(
                 f"normalization must be 'running' or 'global', got {normalization!r}"
             )
+        if emit not in self.EMIT_MODES:
+            raise ValueError(
+                f"emit must be one of {', '.join(self.EMIT_MODES)}; got {emit!r}"
+            )
+        if emit == "fragments" and normalization == "global":
+            raise ValueError(
+                "emit='fragments' streams ensembles incrementally and is "
+                "incompatible with the batch-only normalization='global'"
+            )
+        if max_trace_samples is not None and max_trace_samples < 1:
+            raise ValueError(
+                f"max_trace_samples must be >= 1 or None, got {max_trace_samples}"
+            )
         self.config = config or ExtractionConfig()
         self.hop = hop
         self.normalization = normalization
         self.keep_traces = keep_traces
+        self.max_trace_samples = max_trace_samples
+        self.emit = emit
         self.sample_rate = self.config.sample_rate
+        #: One-time flag for the trace-bound warning (deliberately not
+        #: cleared by reset(): one warning per stage object, not per clip).
+        self._trace_bound_warned = False
         self.reset()
 
     # -- configuration helpers ----------------------------------------------
@@ -124,8 +177,23 @@ class ExtractStage(Stage):
     def samples_seen(self) -> int:
         return self._samples_seen
 
+    @property
+    def trace_offset(self) -> int:
+        """Absolute stream index of ``traces()[0][0]``.
+
+        0 until ``max_trace_samples`` evicts the first chunk; afterwards the
+        kept traces are a stream *suffix* starting here, so
+        ``traces()[1][e.start - stage.trace_offset]`` stays aligned with an
+        ensemble ``e``'s absolute positions.
+        """
+        return self._trace_offset
+
     def traces(self) -> tuple[np.ndarray | None, np.ndarray | None]:
-        """(anomaly_scores, trigger) accumulated so far, or (None, None)."""
+        """(anomaly_scores, trigger) accumulated so far, or (None, None).
+
+        With ``max_trace_samples`` set the arrays are a suffix of the
+        stream beginning at :attr:`trace_offset`, not at sample 0.
+        """
         if not self.keep_traces or not self._score_chunks:
             return None, None
         return np.concatenate(self._score_chunks), np.concatenate(self._trigger_chunks)
@@ -147,10 +215,41 @@ class ExtractStage(Stage):
             self.sample_rate, min_duration=self.config.trigger.min_duration
         )
         self._samples_seen = 0
-        self._score_chunks: list[np.ndarray] = []
-        self._trigger_chunks: list[np.ndarray] = []
+        # Deques: the trace bound evicts from the front of the hot path.
+        self._score_chunks: deque[np.ndarray] = deque()
+        self._trigger_chunks: deque[np.ndarray] = deque()
+        self._trace_samples = 0
+        self._trace_offset = 0
 
     # -- processing ----------------------------------------------------------
+
+    def _record_traces(self, scores: np.ndarray, trigger: np.ndarray) -> None:
+        if not self.keep_traces:
+            return
+        self._score_chunks.append(scores)
+        self._trigger_chunks.append(trigger)
+        self._trace_samples += scores.size
+        if self.max_trace_samples is None:
+            return
+        if self._trace_samples > self.max_trace_samples and not self._trace_bound_warned:
+            self._trace_bound_warned = True
+            warnings.warn(
+                f"extract traces exceeded max_trace_samples="
+                f"{self.max_trace_samples}; dropping oldest trace chunks — "
+                "traces() now returns a suffix of the stream starting at "
+                "trace_offset",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        while (
+            len(self._score_chunks) > 1
+            and self._trace_samples - self._score_chunks[0].size
+            >= self.max_trace_samples
+        ):
+            dropped = self._score_chunks.popleft().size
+            self._trace_samples -= dropped
+            self._trace_offset += dropped
+            self._trigger_chunks.popleft()
 
     def process(self, event: PipelineEvent) -> list[PipelineEvent]:
         if not isinstance(event, SignalChunk):
@@ -160,11 +259,35 @@ class ExtractStage(Stage):
         samples = event.samples
         scores = self._scorer.process(samples)
         trigger = self._trigger.apply(scores)
-        if self.keep_traces:
-            self._score_chunks.append(scores)
-            self._trigger_chunks.append(trigger)
+        self._record_traces(scores, trigger)
         self._samples_seen += samples.size
+        if self.emit == "fragments":
+            return [
+                self._fragment_event(f)
+                for f in self._cutter.push_fragments(samples, trigger)
+            ]
         return [EnsembleEvent(e) for e in self._cutter.push_block(samples, trigger)]
+
+    def _fragment_event(self, fragment) -> EnsembleFragmentEvent:
+        if isinstance(fragment, FragmentOpen):
+            return EnsembleFragmentEvent(
+                kind="open", start=fragment.start, sample_rate=self.sample_rate
+            )
+        if isinstance(fragment, FragmentData):
+            return EnsembleFragmentEvent(
+                kind="data",
+                start=fragment.start,
+                sample_rate=self.sample_rate,
+                samples=fragment.samples,
+                offset=fragment.offset,
+            )
+        assert isinstance(fragment, FragmentClose)
+        return EnsembleFragmentEvent(
+            kind="close",
+            start=fragment.start,
+            sample_rate=self.sample_rate,
+            end=fragment.end,
+        )
 
     def _process_global(self, event: SignalChunk) -> list[PipelineEvent]:
         if self._samples_seen:
@@ -179,22 +302,43 @@ class ExtractStage(Stage):
         ensembles = cut_ensembles(
             samples, trigger, self.sample_rate, min_duration=self.config.trigger.min_duration
         )
-        if self.keep_traces:
-            self._score_chunks.append(scores)
-            self._trigger_chunks.append(trigger)
+        self._record_traces(scores, trigger)
         self._samples_seen += samples.size
         return [EnsembleEvent(e) for e in ensembles]
 
     def flush(self) -> list[PipelineEvent]:
         if self.normalization == "global":
             return []
+        if self.emit == "fragments":
+            return [self._fragment_event(f) for f in self._cutter.flush_fragments()]
         return [EnsembleEvent(e) for e in self._cutter.flush()]
 
 
 class FeatureStage(Stage):
-    """Spectro-temporal pattern construction for every completed ensemble."""
+    """Spectro-temporal pattern construction for every completed ensemble.
+
+    Consumes buffered :class:`EnsembleEvent`\\ s *and* streamed
+    :class:`EnsembleFragmentEvent`\\ s.  On the fragment path, audio is
+    resliced causally by an :class:`~repro.classify.IncrementalPatternBuilder`
+    and a partial per-pattern :class:`FeaturesEvent` is emitted the moment
+    each pattern's records exist — before the ensemble closes.  What happens
+    at the fragment close depends on ``emit``:
+
+    * ``emit="ensembles"`` (default) — the fragments are also reassembled
+      and a terminal :class:`FeaturesEvent` carrying the whole ensemble and
+      the full pattern tuple is emitted, exactly as on the buffered path,
+      so classification and result assembly are unchanged (bit-identical).
+    * ``emit="patterns"`` — nothing is reassembled: only the partial
+      per-pattern events flow, followed by the forwarded close marker.
+      Peak memory stays O(slice × records_per_pattern) regardless of
+      ensemble length (the latency/memory mode; no ensemble-level voting
+      is possible downstream).
+    """
 
     name = "features"
+    consumes_fragments = True
+
+    EMIT_MODES = ("ensembles", "patterns")
 
     def __init__(
         self,
@@ -204,14 +348,21 @@ class FeatureStage(Stage):
         log_compress: bool = True,
         log_gain: float = 100.0,
         sample_rate: int | None = None,
+        emit: str = "ensembles",
     ) -> None:
+        if emit not in self.EMIT_MODES:
+            raise ValueError(
+                f"emit must be one of {', '.join(self.EMIT_MODES)}; got {emit!r}"
+            )
         self.config = config or FeatureConfig()
         self.use_paa = use_paa
         self.normalize = normalize
         self.log_compress = log_compress
         self.log_gain = log_gain
         self.sample_rate = sample_rate
+        self.emit = emit
         self._extractor: PatternExtractor | None = None
+        self._clear_session()
         if sample_rate is not None:
             self.start(sample_rate)
 
@@ -238,10 +389,55 @@ class FeatureStage(Stage):
         return self.extractor.patterns_from_samples(samples)
 
     def process(self, event: PipelineEvent) -> list[PipelineEvent]:
+        if isinstance(event, EnsembleFragmentEvent):
+            return self._process_fragment(event)
         if not isinstance(event, EnsembleEvent):
             return [event]
         patterns = tuple(self.extractor.patterns_from_ensemble(event.ensemble))
         return [FeaturesEvent(ensemble=event.ensemble, patterns=patterns)]
+
+    # -- fragment path --------------------------------------------------------
+
+    def _clear_session(self) -> None:
+        self._builder: IncrementalPatternBuilder | None = None
+        self._frag_parts: list[np.ndarray] | None = None
+        self._frag_patterns: list[np.ndarray] = []
+
+    def _process_fragment(self, event: EnsembleFragmentEvent) -> list[PipelineEvent]:
+        if event.kind == "open":
+            self._builder = self.extractor.builder()
+            self._frag_parts = [] if self.emit == "ensembles" else None
+            self._frag_patterns = []
+            # Forward the marker: boundaries stay visible downstream while
+            # the audio itself is consumed here.
+            return [event]
+        if event.kind == "data":
+            if self._builder is None or event.samples is None:
+                return []
+            if self._frag_parts is not None:
+                self._frag_parts.append(event.samples)
+            patterns = self._builder.push(event.samples)
+            if self.emit == "ensembles":
+                self._frag_patterns.extend(patterns)
+            return [FeaturesEvent(ensemble=None, patterns=(p,)) for p in patterns]
+        # close: trailing records that never filled a pattern group are
+        # dropped, exactly like the batch grouping drops them.
+        outputs: list[PipelineEvent] = []
+        if self._builder is not None and self.emit == "ensembles":
+            parts = self._frag_parts or []
+            if parts:
+                ensemble = ensemble_from_fragments(
+                    parts, event.start, event.end, event.sample_rate
+                )
+                outputs.append(
+                    FeaturesEvent(ensemble=ensemble, patterns=tuple(self._frag_patterns))
+                )
+        self._clear_session()
+        outputs.append(event)
+        return outputs
+
+    def reset(self) -> None:
+        self._clear_session()
 
 
 class ClassifyStage(Stage):
@@ -258,6 +454,11 @@ class ClassifyStage(Stage):
 
     def process(self, event: PipelineEvent) -> list[PipelineEvent]:
         if not isinstance(event, FeaturesEvent):
+            return [event]
+        if event.ensemble is None:
+            # A partial per-pattern event of a still-open ensemble: voting
+            # needs the full pattern set, so pass it through untouched and
+            # classify the terminal event instead.
             return [event]
         votes: Counter[Hashable] = Counter(
             predict_patterns(self.classifier, event.patterns)

@@ -27,7 +27,15 @@ from ..config import AnomalyConfig
 from ..core.cutter import Ensemble
 from ..timeseries.sax import symbolize
 
-__all__ = ["RunningNormalizer", "ChunkedAnomalyScorer", "ChunkedCutter", "rechunk"]
+__all__ = [
+    "RunningNormalizer",
+    "ChunkedAnomalyScorer",
+    "ChunkedCutter",
+    "FragmentOpen",
+    "FragmentData",
+    "FragmentClose",
+    "rechunk",
+]
 
 
 def rechunk(chunks: Iterable[np.ndarray], size: int) -> Iterator[np.ndarray]:
@@ -281,14 +289,57 @@ class ChunkedAnomalyScorer:
         self.__post_init__()
 
 
+@dataclass(frozen=True)
+class FragmentOpen:
+    """A trigger-high run has reached ``min_duration``: an ensemble begins."""
+
+    #: Absolute index of the run's first sample.
+    start: int
+
+
+@dataclass(frozen=True)
+class FragmentData:
+    """A contiguous slice of an open ensemble's audio."""
+
+    #: Absolute index of the run's first sample (the enclosing ensemble).
+    start: int
+    #: Absolute index of ``samples[0]`` within the stream.
+    offset: int
+    samples: np.ndarray
+
+
+@dataclass(frozen=True)
+class FragmentClose:
+    """The trigger dropped: the ensemble spanning ``[start, end)`` is done."""
+
+    start: int
+    end: int
+
+
+FragmentEvent = FragmentOpen | FragmentData | FragmentClose
+
+
 @dataclass
 class ChunkedCutter:
     """Run-length cutter with carry-over across chunk boundaries.
 
-    ``push_block`` consumes equal-length sample and trigger chunks and
-    returns the ensembles completed inside the chunk; a trigger-high run
-    spanning several chunks is stitched together.  ``flush`` closes a run
-    left open at end of stream.  Positions are absolute within the stream.
+    Two views of the same run-length machinery:
+
+    * ``push_fragments`` is the primitive: it consumes equal-length sample
+      and trigger chunks and emits :class:`FragmentOpen` /
+      :class:`FragmentData` / :class:`FragmentClose` events *while* a
+      trigger-high run is still in progress.  At most ``min_duration - 1``
+      samples are ever buffered (a run is announced once it is provably
+      long enough to keep), so peak memory no longer grows with run length.
+    * ``push_block`` is the buffered view, re-expressed over the fragments:
+      it reassembles each fragment stream into a whole :class:`Ensemble`
+      and returns the ensembles completed inside the chunk.  Output is
+      bit-identical to the historical buffered implementation.
+
+    The two entry points share position state; use one or the other on a
+    given cutter instance, not both.  ``flush`` / ``flush_fragments`` close
+    a run left open at end of stream.  Positions are absolute within the
+    stream.
     """
 
     sample_rate: int
@@ -299,6 +350,14 @@ class ChunkedCutter:
             raise ValueError(f"min_duration must be >= 1, got {self.min_duration}")
         self._position = 0
         self._open_start: int | None = None
+        #: Samples held back until the run reaches ``min_duration``.
+        self._pending: list[np.ndarray] = []
+        self._pending_size = 0
+        #: Whether FragmentOpen has been emitted for the current run.
+        self._announced = False
+        #: Samples emitted as fragments for the current run so far.
+        self._emitted = 0
+        #: Reassembly buffer used by the buffered ``push_block`` view only.
         self._parts: list[np.ndarray] = []
 
     @property
@@ -311,50 +370,123 @@ class ChunkedCutter:
         """Absolute index of the next sample to be consumed."""
         return self._position
 
-    def push_block(self, samples: np.ndarray, trigger: np.ndarray) -> list[Ensemble]:
-        """Consume one (samples, trigger) chunk; return completed ensembles."""
+    # -- fragment view --------------------------------------------------------
+
+    def push_fragments(
+        self, samples: np.ndarray, trigger: np.ndarray
+    ) -> list[FragmentEvent]:
+        """Consume one (samples, trigger) chunk; emit fragment events.
+
+        Runs shorter than ``min_duration`` produce no events at all (they
+        are discarded before being announced, exactly like the buffered
+        path discards them at close).
+        """
         sig = np.asarray(samples, dtype=float).ravel()
         trig = np.asarray(trigger).ravel().astype(bool)
         if sig.size != trig.size:
             raise ValueError(
                 f"samples ({sig.size}) and trigger ({trig.size}) must align"
             )
-        completed: list[Ensemble] = []
+        events: list[FragmentEvent] = []
         if sig.size == 0:
-            return completed
+            return events
         edges = np.flatnonzero(np.diff(trig.astype(np.int8))) + 1
         bounds = np.concatenate(([0], edges, [trig.size]))
         for run_start, run_end in zip(bounds[:-1], bounds[1:]):
             if trig[run_start]:
                 if self._open_start is None:
                     self._open_start = self._position + int(run_start)
-                    self._parts = []
-                self._parts.append(sig[run_start:run_end].copy())
+                    self._pending = []
+                    self._pending_size = 0
+                    self._announced = False
+                    self._emitted = 0
+                segment = sig[run_start:run_end].copy()
+                events.extend(self._absorb(segment))
             else:
-                ensemble = self._finish()
-                if ensemble is not None:
-                    completed.append(ensemble)
+                events.extend(self._close_fragments())
         self._position += trig.size
+        return events
+
+    def flush_fragments(self) -> list[FragmentEvent]:
+        """Close (or discard, if still too short) a run open at end of stream."""
+        return self._close_fragments()
+
+    def _absorb(self, segment: np.ndarray) -> list[FragmentEvent]:
+        """Fold one trigger-high segment into the open run."""
+        start = self._open_start
+        assert start is not None
+        if self._announced:
+            event = FragmentData(
+                start=start, offset=start + self._emitted, samples=segment
+            )
+            self._emitted += segment.size
+            return [event]
+        self._pending.append(segment)
+        self._pending_size += segment.size
+        if self._pending_size < self.min_duration:
+            return []
+        data = (
+            np.concatenate(self._pending)
+            if len(self._pending) > 1
+            else self._pending[0]
+        )
+        self._pending = []
+        self._pending_size = 0
+        self._announced = True
+        self._emitted = data.size
+        return [FragmentOpen(start=start), FragmentData(start=start, offset=start, samples=data)]
+
+    def _close_fragments(self) -> list[FragmentEvent]:
+        if self._open_start is None:
+            return []
+        start = self._open_start
+        announced, emitted = self._announced, self._emitted
+        self._open_start = None
+        self._pending = []
+        self._pending_size = 0
+        self._announced = False
+        self._emitted = 0
+        if not announced:
+            # The run never reached min_duration: discarded, nothing was
+            # announced downstream, so nothing needs closing.
+            return []
+        return [FragmentClose(start=start, end=start + emitted)]
+
+    # -- buffered view (re-expressed over the fragments) ----------------------
+
+    def push_block(self, samples: np.ndarray, trigger: np.ndarray) -> list[Ensemble]:
+        """Consume one (samples, trigger) chunk; return completed ensembles."""
+        completed: list[Ensemble] = []
+        for event in self.push_fragments(samples, trigger):
+            ensemble = self._reassemble(event)
+            if ensemble is not None:
+                completed.append(ensemble)
         return completed
 
     def flush(self) -> list[Ensemble]:
         """Close a run left open at the end of the stream."""
-        ensemble = self._finish()
-        return [ensemble] if ensemble is not None else []
+        completed: list[Ensemble] = []
+        for event in self.flush_fragments():
+            ensemble = self._reassemble(event)
+            if ensemble is not None:
+                completed.append(ensemble)
+        return completed
 
-    def _finish(self) -> Ensemble | None:
-        if self._open_start is None:
+    def _reassemble(self, event: FragmentEvent) -> Ensemble | None:
+        if isinstance(event, FragmentOpen):
+            self._parts = []
             return None
-        start = self._open_start
-        samples = np.concatenate(self._parts) if self._parts else np.zeros(0)
-        self._open_start = None
+        if isinstance(event, FragmentData):
+            self._parts.append(event.samples)
+            return None
+        samples = (
+            np.concatenate(self._parts) if len(self._parts) > 1 else self._parts[0]
+        )
         self._parts = []
-        if samples.size < self.min_duration:
-            return None
         return Ensemble(
             samples=samples,
-            start=start,
-            end=start + samples.size,
+            start=event.start,
+            end=event.end,
             sample_rate=self.sample_rate,
         )
 

@@ -32,6 +32,7 @@ __all__ = [
     "Subtype",
     "Record",
     "data_record",
+    "fragment_record",
     "open_scope",
     "close_scope",
     "bad_close_scope",
@@ -66,6 +67,12 @@ class Subtype(str, Enum):
     """Well-known data-record subtypes used by the acoustic pipeline."""
 
     AUDIO = "audio"
+    #: One streamed slice of a still-open ensemble's audio.  A fragmented
+    #: ensemble scope carries several of these instead of one AUDIO record;
+    #: decoders concatenate them in sequence order.  They travel over the
+    #: same wire framing as every other record, so process deployments
+    #: stream fragments across sockets unchanged.
+    FRAGMENT = "fragment"
     ANOMALY_SCORE = "anomaly_score"
     TRIGGER = "trigger"
     COMPLEX_SPECTRUM = "complex_spectrum"
@@ -154,6 +161,28 @@ def data_record(
         sequence=sequence,
         payload=np.asarray(payload),
         context=context or {},
+    )
+
+
+def fragment_record(
+    payload: np.ndarray,
+    scope: int = 0,
+    sequence: int = 0,
+    context: dict[str, Any] | None = None,
+) -> Record:
+    """One streamed audio slice of a fragmented ensemble scope.
+
+    Convenience constructor for :data:`Subtype.FRAGMENT` data records; the
+    scope type is always :data:`ScopeType.ENSEMBLE` because fragments only
+    occur inside an ensemble scope being streamed while still open.
+    """
+    return data_record(
+        payload,
+        subtype=Subtype.FRAGMENT.value,
+        scope=scope,
+        scope_type=ScopeType.ENSEMBLE.value,
+        sequence=sequence,
+        context=context,
     )
 
 

@@ -18,6 +18,13 @@ Every channel that moves records as bytes — :class:`~repro.river.channels.
 ByteChannel` and :class:`~repro.river.transport.SocketChannel` — shares this
 one framing, so a record crossing an in-process byte channel is encoded
 bit-for-bit like a record crossing a real socket.
+
+The format is *content-agnostic*: every record type and subtype — including
+the :data:`~repro.river.records.Subtype.FRAGMENT` records that stream a
+still-open ensemble's audio slice by slice — travels as header JSON plus
+raw payload bytes, which is what lets :class:`~repro.river.transport.
+ProcessDeployment` pump incremental ensemble fragments across sockets
+without any per-type wire code.
 """
 
 from __future__ import annotations

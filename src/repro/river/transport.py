@@ -30,7 +30,13 @@ The fabric is *transparent*: the record stream collected from a
 ``ProcessDeployment`` is bit-identical to the one produced by the simulated
 :class:`~repro.river.placement.Deployment` and by an in-process
 ``Pipeline.run`` over the same operators (the ``TestProcessTransportParity``
-suite locks this down).
+suite locks this down).  That transparency extends to *fragmented* ensemble
+scopes (``ExtractStage(emit="fragments")``): their
+:data:`~repro.river.records.Subtype.FRAGMENT` records are ordinary data
+records over the shared framing, so a still-open ensemble streams across a
+socket slice by slice — no host ever needs to hold a whole ensemble for the
+extract/feature stages (``tests/test_fragments.py`` asserts process-river
+fragment parity for fan-out k in {1, 2, 4}).
 """
 
 from __future__ import annotations
