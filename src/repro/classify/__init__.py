@@ -1,7 +1,13 @@
 """Classification experiment harness: features, voting, cross-validation."""
 
 from .confusion import ConfusionMatrix
-from .crossval import EvaluationItem, ExperimentResult, leave_one_out, resubstitution
+from .crossval import (
+    EvaluationItem,
+    ExperimentResult,
+    items_from_store,
+    leave_one_out,
+    resubstitution,
+)
 from .features import IncrementalPatternBuilder, LabelledPattern, PatternExtractor
 from .metrics import AccuracySummary, accuracy, summarize
 from .voting import majority_vote, predict_patterns, vote_ensemble
@@ -15,6 +21,7 @@ __all__ = [
     "LabelledPattern",
     "PatternExtractor",
     "accuracy",
+    "items_from_store",
     "leave_one_out",
     "majority_vote",
     "predict_patterns",

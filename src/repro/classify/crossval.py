@@ -28,7 +28,13 @@ from .confusion import ConfusionMatrix
 from .metrics import AccuracySummary, summarize
 from .voting import vote_ensemble
 
-__all__ = ["EvaluationItem", "ExperimentResult", "leave_one_out", "resubstitution"]
+__all__ = [
+    "EvaluationItem",
+    "ExperimentResult",
+    "items_from_store",
+    "leave_one_out",
+    "resubstitution",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +70,44 @@ class ExperimentResult:
 ClassifierFactory = Callable[[], object]
 
 
+def items_from_store(store, recordings=None) -> list[EvaluationItem]:
+    """Build evaluation items straight from a persistent feature store.
+
+    Every stored ensemble that carries at least one stored pattern and a
+    label (ground truth when present, otherwise the stored classifier
+    verdict) becomes one :class:`EvaluationItem` — so a store written by a
+    features pipeline feeds the cross-validation protocols without
+    re-running extraction.  ``recordings`` restricts the sweep to the named
+    recordings (default: all, in store order).
+    """
+    from ..store.reader import coerce_reader
+
+    reader = coerce_reader(store)
+    names = list(recordings) if recordings is not None else reader.recordings()
+    items: list[EvaluationItem] = []
+    for name in names:
+        for stored in reader.iter_ensembles(recording=name):
+            label = stored.ensemble.label
+            if label is None:
+                label = stored.label
+            if label is None or not stored.patterns:
+                continue
+            items.append(
+                EvaluationItem(label=str(label), patterns=tuple(stored.patterns))
+            )
+    return items
+
+
+def _resolve_items(items, from_store) -> Sequence[EvaluationItem]:
+    if from_store is not None:
+        if items is not None:
+            raise ValueError("pass either items or from_store=, not both")
+        return items_from_store(from_store)
+    if items is None:
+        raise ValueError("items are required when from_store= is not given")
+    return items
+
+
 def _train(classifier, items: Sequence[EvaluationItem]) -> None:
     for item in items:
         for pattern in item.patterns:
@@ -81,12 +125,18 @@ def _label_set(items: Sequence[EvaluationItem]) -> list[str]:
 
 
 def leave_one_out(
-    items: Sequence[EvaluationItem],
+    items: Sequence[EvaluationItem] | None,
     classifier_factory: ClassifierFactory,
     repeats: int = 20,
     seed: int = 0,
+    from_store=None,
 ) -> ExperimentResult:
-    """Leave-one-out cross-validation with per-repeat randomisation."""
+    """Leave-one-out cross-validation with per-repeat randomisation.
+
+    ``from_store`` replaces ``items`` (pass ``items=None``) with the stored
+    evaluation items of a feature store — see :func:`items_from_store`.
+    """
+    items = _resolve_items(items, from_store)
     if len(items) < 2:
         raise ValueError("leave-one-out needs at least two items")
     if repeats < 1:
@@ -124,12 +174,18 @@ def leave_one_out(
 
 
 def resubstitution(
-    items: Sequence[EvaluationItem],
+    items: Sequence[EvaluationItem] | None,
     classifier_factory: ClassifierFactory,
     repeats: int = 100,
     seed: int = 0,
+    from_store=None,
 ) -> ExperimentResult:
-    """Resubstitution: train and test on the entire data set."""
+    """Resubstitution: train and test on the entire data set.
+
+    ``from_store`` replaces ``items`` (pass ``items=None``) with the stored
+    evaluation items of a feature store — see :func:`items_from_store`.
+    """
+    items = _resolve_items(items, from_store)
     if not items:
         raise ValueError("resubstitution needs at least one item")
     if repeats < 1:

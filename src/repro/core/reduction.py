@@ -48,7 +48,11 @@ class ReductionReport:
 
 
 def measure_reduction(
-    corpus: ClipCorpus, extractor, backend: str = "serial", workers: int | None = None
+    corpus: ClipCorpus,
+    extractor,
+    backend: str = "serial",
+    workers: int | None = None,
+    store=None,
 ) -> tuple[ReductionReport, list]:
     """Extract every clip in ``corpus`` and report the aggregate reduction.
 
@@ -59,11 +63,19 @@ def measure_reduction(
     ``retained_samples`` accounting this report needs.  Pipelines can run
     the corpus in parallel via ``backend`` / ``workers`` (see
     :meth:`~repro.pipeline.BuiltPipeline.run_corpus`); the legacy extractor
-    is always serial.
+    is always serial.  ``store`` persists each result to a feature store as
+    it completes (pipeline extractors only).
     """
     if hasattr(extractor, "run_corpus"):
-        results = extractor.run_corpus(corpus.clips, backend=backend, workers=workers)
+        results = extractor.run_corpus(
+            corpus.clips, backend=backend, workers=workers, store=store
+        )
     else:
+        if store is not None:
+            raise ValueError(
+                "store= needs a pipeline extractor (run_corpus); the legacy "
+                "extractor cannot persist to a feature store"
+            )
         extract = (
             extractor.extract_clip
             if hasattr(extractor, "extract_clip")

@@ -88,11 +88,16 @@ PAPER_SCALE = ExperimentScale(
 
 @dataclass
 class ExperimentData:
-    """Everything the table experiments need, built once and reused."""
+    """Everything the table experiments need, built once and reused.
+
+    ``corpus`` is None when the data was replayed from a feature store
+    (``build_experiment_data(from_store=...)``): the raw clips were never
+    regenerated because nothing downstream of extraction needs them.
+    """
 
     scale: ExperimentScale
     config: ExtractionConfig
-    corpus: ClipCorpus
+    corpus: ClipCorpus | None
     ensembles: list[Ensemble]
     #: The four data sets keyed as in Table 2.
     pattern_items: list[EvaluationItem] = field(default_factory=list)
@@ -150,34 +155,79 @@ def build_experiment_data(
     hop: int = 16,
     backend: str = "serial",
     workers: int | None = None,
+    store=None,
+    from_store=None,
 ) -> ExperimentData:
     """Generate the corpus, extract ensembles and build all four data sets.
 
     ``backend`` / ``workers`` select how the per-clip extraction runs (see
     :meth:`~repro.pipeline.BuiltPipeline.run_corpus`); every backend yields
     bit-identical ensembles, so the tables do not depend on the choice.
+
+    ``store`` persists the validated (labelled) ensembles and the sample
+    accounting to a feature store as extraction completes;
+    ``from_store`` skips corpus generation and extraction entirely,
+    replaying a store written that way — the resulting data sets are
+    bit-identical to the extract-from-raw path.
     """
     if scale.corpus.sample_rate != config.sample_rate:
         config = replace(config, sample_rate=scale.corpus.sample_rate)
-    corpus = build_corpus(scale.corpus)
-    # Global normalisation reproduces the legacy whole-clip batch semantics
-    # exactly, keeping the table values identical across API generations.
-    # keep_traces=False: only the ensembles and the sample accounting are
-    # used here, so per-sample score/trigger traces would be dead weight
-    # held for the whole corpus (and pickled back from process workers).
-    pipeline = (
-        AcousticPipeline()
-        .extract(config, hop=hop, normalization="global", keep_traces=False)
-        .build()
-    )
-    results = pipeline.run_corpus(corpus.clips, backend=backend, workers=workers)
-    ensembles: list[Ensemble] = []
-    total = 0
-    retained = 0
-    for clip, result in zip(corpus.clips, results):
-        total += result.total_samples
-        retained += result.retained_samples
-        ensembles.extend(result.labelled(clip))
+    if from_store is not None:
+        from ..store.reader import coerce_reader
+
+        reader = coerce_reader(from_store)
+        corpus = None
+        ensembles = []
+        total = 0
+        retained = 0
+        for name in reader.recordings():
+            info = reader.recording_info(name)
+            total += info.total_samples
+            stored_rows = list(reader.iter_ensembles(recording=name))
+            meta = info.meta or {}
+            fallback = sum(row.ensemble.samples.size for row in stored_rows)
+            retained += int(meta.get("retained_samples", fallback))
+            ensembles.extend(row.ensemble for row in stored_rows)
+    else:
+        corpus = build_corpus(scale.corpus)
+        # Global normalisation reproduces the legacy whole-clip batch semantics
+        # exactly, keeping the table values identical across API generations.
+        # keep_traces=False: only the ensembles and the sample accounting are
+        # used here, so per-sample score/trigger traces would be dead weight
+        # held for the whole corpus (and pickled back from process workers).
+        pipeline = (
+            AcousticPipeline()
+            .extract(config, hop=hop, normalization="global", keep_traces=False)
+            .build()
+        )
+        results = pipeline.run_corpus(corpus.clips, backend=backend, workers=workers)
+        writer = None
+        owned = False
+        if store is not None:
+            from ..store.writer import coerce_writer
+
+            writer, owned = coerce_writer(store)
+        ensembles = []
+        total = 0
+        retained = 0
+        try:
+            for index, (clip, result) in enumerate(zip(corpus.clips, results)):
+                total += result.total_samples
+                retained += result.retained_samples
+                labelled = result.labelled(clip)
+                ensembles.extend(labelled)
+                if writer is not None:
+                    writer.write_ensembles(
+                        f"rec-{index:05d}",
+                        labelled,
+                        sample_rate=clip.sample_rate,
+                        total_samples=result.total_samples,
+                        station=clip.station_id,
+                        meta={"retained_samples": int(result.retained_samples)},
+                    )
+        finally:
+            if writer is not None:
+                writer.close() if owned else writer.flush()
 
     data = ExperimentData(
         scale=scale,

@@ -54,15 +54,37 @@ def build_reduction(
     corpus_spec: CorpusSpec | None = None,
     backend: str = "serial",
     workers: int | None = None,
+    store=None,
+    from_store=None,
 ) -> ReductionComparison:
-    """Measure data reduction over a corpus for extraction and the baseline."""
+    """Measure data reduction over a corpus for extraction and the baseline.
+
+    ``store`` persists every extraction result to a feature store as the
+    clips run; ``from_store`` replays a store written that way instead of
+    re-extracting — the reduction numbers are bit-identical.  The energy
+    baseline always needs the raw audio, so the corpus is (re)generated in
+    both modes; synthetic corpora are deterministic, making that exact.
+    """
     if corpus is None:
         corpus = build_corpus(
             corpus_spec
             or CorpusSpec(clips_per_species=2, songs_per_clip=2, clip_duration=15.0, sample_rate=16000)
         )
     pipeline = AcousticPipeline().extract(config, normalization="global").build()
-    report, _ = measure_reduction(corpus, pipeline, backend=backend, workers=workers)
+    if from_store is not None:
+        results = pipeline.run_corpus(from_store=from_store)
+        total = sum(result.total_samples for result in results)
+        retained = sum(result.retained_samples for result in results)
+        report = ReductionReport(
+            clips=len(results),
+            total_samples=total,
+            retained_samples=retained,
+            ensembles=sum(len(result.ensembles) for result in results),
+        )
+    else:
+        report, _ = measure_reduction(
+            corpus, pipeline, backend=backend, workers=workers, store=store
+        )
     segmenter = EnergySegmenter(min_duration=config.trigger.min_duration)
     baseline_retained = 0
     for clip in corpus.clips:

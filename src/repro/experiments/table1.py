@@ -29,10 +29,21 @@ class Table1Row:
     measured_ensembles: int
 
 
-def build_table1(data: ExperimentData | None = None, scale: ExperimentScale = BENCH_SCALE) -> list[Table1Row]:
-    """Compute the per-species counts for the given experiment data."""
+def build_table1(
+    data: ExperimentData | None = None,
+    scale: ExperimentScale = BENCH_SCALE,
+    store=None,
+    from_store=None,
+) -> list[Table1Row]:
+    """Compute the per-species counts for the given experiment data.
+
+    ``store`` / ``from_store`` are forwarded to
+    :func:`~repro.experiments.datasets.build_experiment_data` (ignored when
+    ``data`` is passed in): persist the extracted ensembles, or replay them
+    from a feature store without re-extracting.
+    """
     if data is None:
-        data = build_experiment_data(scale)
+        data = build_experiment_data(scale, store=store, from_store=from_store)
     counts = data.species_counts()
     rows = []
     for model in SPECIES:

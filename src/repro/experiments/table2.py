@@ -54,15 +54,22 @@ def build_table2(
     datasets: tuple[str, ...] = DATASET_NAMES,
     backend: str = "serial",
     workers: int | None = None,
+    store=None,
+    from_store=None,
 ) -> list[Table2Row]:
     """Run the Table 2 experiments and return the rows.
 
     ``backend`` / ``workers`` parallelise the per-clip extraction behind
     the data sets (bit-identical across backends); the cross-validation
     loops themselves stay serial because MESO training is order-dependent.
+    ``store`` / ``from_store`` persist the extracted ensembles to a feature
+    store, or replay them from one without re-extracting (ignored when
+    ``data`` is passed in); the rows are bit-identical either way.
     """
     if data is None:
-        data = build_experiment_data(scale, backend=backend, workers=workers)
+        data = build_experiment_data(
+            scale, backend=backend, workers=workers, store=store, from_store=from_store
+        )
     rows: list[Table2Row] = []
     for name in datasets:
         items = data.dataset(name)

@@ -318,6 +318,26 @@ class MesoClassifier:
         """Label distribution of the nearest sphere (not calibrated probabilities)."""
         return self.query(pattern).label_distribution()
 
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path, backend: str = "auto"):
+        """Persist this memory to ``path`` through the feature-store backends.
+
+        The saved form replays bit-identically on load (centres are
+        verified against the stored matrix); see
+        :func:`repro.store.save_meso`.  Labels must be strings.
+        """
+        from ..store.meso_io import save_meso
+
+        return save_meso(self, path, backend=backend)
+
+    @classmethod
+    def load(cls, path) -> "MesoClassifier":
+        """Load a memory saved by :meth:`save`, verifying integrity."""
+        from ..store.meso_io import load_meso
+
+        return load_meso(path)
+
     # -- introspection -----------------------------------------------------
 
     def describe(self) -> dict:

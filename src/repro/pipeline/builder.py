@@ -37,7 +37,13 @@ from ..config import ExtractionConfig, FeatureConfig
 from ..dsp.wav import WavClip, read_wav
 from ..synth.clips import AcousticClip
 from .registry import STAGES, StageRegistry
-from .results import PipelineEvent, PipelineResult, SignalChunk
+from .results import (
+    EnsembleEvent,
+    FeaturesEvent,
+    PipelineEvent,
+    PipelineResult,
+    SignalChunk,
+)
 from .stages import ExtractStage, Stage
 
 __all__ = ["AcousticPipeline", "BuiltPipeline", "PipelineBuildError"]
@@ -214,21 +220,35 @@ class AcousticPipeline:
 
     def run_corpus(
         self,
-        corpus,
+        corpus=None,
         *,
         backend: str = "serial",
         workers: int | None = None,
         sample_rate: int | None = None,
+        store=None,
+        from_store=None,
+        recordings=None,
     ):
         """Run this spec over a corpus (see :meth:`BuiltPipeline.run_corpus`).
 
         The executor instantiates stages per worker from the spec, so no
-        eager :meth:`build` is needed here.
+        eager :meth:`build` is needed here — except for ``from_store=``,
+        which replays stored ensembles through a built graph.
         """
+        if from_store is not None:
+            return self.build().run_corpus(
+                corpus,
+                backend=backend,
+                workers=workers,
+                sample_rate=sample_rate,
+                store=store,
+                from_store=from_store,
+                recordings=recordings,
+            )
         from .executor import CorpusExecutor
 
         return CorpusExecutor(self, backend=backend, workers=workers).run(
-            corpus, sample_rate=sample_rate
+            corpus, sample_rate=sample_rate, store=store, recordings=recordings
         )
 
     def to_river(
@@ -236,6 +256,7 @@ class AcousticPipeline:
         name: str = "acoustic-pipeline",
         fan_out: int | dict[str, int] = 1,
         partition: str = "station",
+        store=None,
     ):
         """Compile the stage graph into a Dynamic River operator pipeline.
 
@@ -250,7 +271,9 @@ class AcousticPipeline:
         """
         from .river_adapter import compile_to_river
 
-        return compile_to_river(self, name=name, fan_out=fan_out, partition=partition)
+        return compile_to_river(
+            self, name=name, fan_out=fan_out, partition=partition, store=store
+        )
 
     def deploy(self, clips, backend: str = "simulated", **kwargs):
         """Run ``clips`` through the compiled river graph on a real fabric.
@@ -275,6 +298,16 @@ class BuiltPipeline:
             raise PipelineBuildError("a built pipeline needs at least one stage")
         self.stages = list(stages)
         self.spec = spec
+        self._store_run_counter = 0
+        # Tell store stages whether a features stage precedes them, so the
+        # stored n_patterns column can distinguish "no feature stage ran"
+        # (-1) from "features ran and found nothing" (0) on fragment streams.
+        seen_features = False
+        for stage in self.stages:
+            if getattr(stage, "expect_features", False) is None:
+                stage.expect_features = seen_features
+            if stage.name == "features":
+                seen_features = True
 
     # -- introspection ---------------------------------------------------------
 
@@ -311,13 +344,16 @@ class BuiltPipeline:
         name: str = "acoustic-pipeline",
         fan_out: int | dict[str, int] = 1,
         partition: str = "station",
+        store=None,
     ):
         """Compile this pipeline's stage graph for Dynamic River."""
         if self.spec is None:
             raise PipelineBuildError(
                 "this pipeline was built without a spec; use AcousticPipeline.to_river"
             )
-        return self.spec.to_river(name=name, fan_out=fan_out, partition=partition)
+        return self.spec.to_river(
+            name=name, fan_out=fan_out, partition=partition, store=store
+        )
 
     def deploy(self, clips, backend: str = "simulated", **kwargs):
         """Deploy this pipeline's compiled graph on a fabric (see
@@ -330,13 +366,26 @@ class BuiltPipeline:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self, source, sample_rate: int | None = None) -> PipelineResult:
+    def run(
+        self,
+        source,
+        sample_rate: int | None = None,
+        *,
+        store=None,
+        recording: str | None = None,
+        station: str | None = None,
+    ) -> PipelineResult:
         """Run the pipeline to completion and collect a :class:`PipelineResult`.
 
         ``source`` may be an :class:`AcousticClip`, a raw sample array, a WAV
         file path, a decoded :class:`WavClip` or any iterable of sample
         chunks.  ``sample_rate`` overrides the rate for arrays and chunk
         iterables (clips and WAV files carry their own).
+
+        ``store`` persists the result into a feature store — a directory
+        path or an open :class:`~repro.store.StoreWriter` — under
+        ``recording`` (auto-numbered when omitted); ``station`` defaults to
+        the source's ``station_id`` when it has one.
         """
         chunks, rate = self._coerce_source(source, sample_rate)
         events = list(self._execute(chunks, rate))
@@ -352,15 +401,92 @@ class BuiltPipeline:
         )
         if extract is not None:
             result.trace_offset = extract.trace_offset
+        if store is not None:
+            self._persist_result(store, result, source, recording, station)
         return result
+
+    def _persist_result(self, store, result, source, recording, station) -> None:
+        from ..store.writer import coerce_writer
+
+        writer, owned = coerce_writer(store)
+        try:
+            name = recording
+            if name is None:
+                while True:
+                    name = f"rec-{self._store_run_counter:05d}"
+                    self._store_run_counter += 1
+                    if not writer.has_recording(name):
+                        break
+            if station is None:
+                station = str(getattr(source, "station_id", "") or "")
+            features = any(stage.name == "features" for stage in self.stages)
+            writer.write_result(name, result, station=station, features=features)
+            writer.flush()
+        finally:
+            if owned:
+                writer.close()
+
+    def run_from_store(
+        self, store, recording: str, sample_rate: int | None = None
+    ) -> PipelineResult:
+        """Replay a stored recording through this pipeline's post-extraction
+        stages, skipping DFT→PAA→SAX extraction entirely.
+
+        Stored rows enter the graph as the events the extract (and, when
+        patterns were stored, feature) stage would have produced, so the
+        result is bit-identical to running the raw audio — locked by the
+        parity tests in ``tests/test_store.py``.  Extraction traces are not
+        stored, so ``anomaly_scores``/``trigger`` are ``None`` here.
+        """
+        from ..store.reader import coerce_reader
+
+        reader = coerce_reader(store)
+        info = reader.recording_info(recording)
+        rate = int(sample_rate or info.sample_rate or self.default_sample_rate)
+        stages = [
+            stage
+            for stage in self.stages
+            if not isinstance(stage, ExtractStage) and stage.name != "store"
+        ]
+        for stage in stages:
+            stage.reset()
+            stage.start(rate)
+        events: list[PipelineEvent] = []
+        for stored in reader.iter_ensembles(recording=recording):
+            if stored.n_patterns >= 0:
+                batch: list[PipelineEvent] = [
+                    FeaturesEvent(ensemble=stored.ensemble, patterns=stored.patterns)
+                ]
+            else:
+                batch = [EnsembleEvent(ensemble=stored.ensemble)]
+            for stage in stages:
+                moved: list[PipelineEvent] = []
+                for event in batch:
+                    moved.extend(stage.process(event))
+                batch = moved
+            events.extend(batch)
+        pending: list[PipelineEvent] = []
+        for stage in stages:
+            moved = []
+            for event in pending:
+                moved.extend(stage.process(event))
+            moved.extend(stage.flush())
+            pending = moved
+        events.extend(pending)
+        return PipelineResult.from_events(
+            events, sample_rate=rate, total_samples=info.total_samples
+        )
 
     def run_corpus(
         self,
-        corpus,
+        corpus=None,
         *,
         backend: str = "serial",
         workers: int | None = None,
         sample_rate: int | None = None,
+        store=None,
+        from_store=None,
+        recordings=None,
     ) -> list[PipelineResult]:
         """Run the pipeline over every item of a corpus, in corpus order.
 
@@ -370,11 +496,52 @@ class BuiltPipeline:
         items are executed: ``"serial"`` (the reference), ``"thread"`` or
         ``"process"``; all backends return bit-identical results (see
         :class:`~repro.pipeline.executor.CorpusExecutor`).
+
+        ``store`` persists every result into a feature store as it
+        completes; ``from_store`` replaces the corpus entirely, replaying
+        the named ``recordings`` (default: all of them, in store order)
+        through :meth:`run_from_store` instead of re-extracting.
         """
+        if from_store is not None:
+            if corpus is not None:
+                raise PipelineBuildError(
+                    "pass either a corpus or from_store=, not both"
+                )
+            from ..store.reader import coerce_reader
+            from ..store.writer import StoreError, coerce_writer
+
+            reader = coerce_reader(from_store)
+            names = list(recordings) if recordings is not None else reader.recordings()
+            if store is None:
+                return [
+                    self.run_from_store(reader, name, sample_rate=sample_rate)
+                    for name in names
+                ]
+            # Read → enrich → persist sweep: replay each recording and write
+            # the enriched result (e.g. patterns, labels) to a second store.
+            writer, owned = coerce_writer(store)
+            try:
+                if writer.path.resolve() == reader.path.resolve():
+                    raise StoreError(
+                        "from_store= and store= point at the same store; "
+                        "appending a sweep's output onto its own input would "
+                        "duplicate every ensemble row — write to a new path"
+                    )
+                results = []
+                for name in names:
+                    result = self.run_from_store(reader, name, sample_rate=sample_rate)
+                    info = reader.recording_info(name)
+                    writer.write_result(name, result, station=info.station)
+                    results.append(result)
+                writer.flush()
+            finally:
+                if owned:
+                    writer.close()
+            return results
         from .executor import CorpusExecutor
 
         return CorpusExecutor(self, backend=backend, workers=workers).run(
-            corpus, sample_rate=sample_rate
+            corpus, sample_rate=sample_rate, store=store, recordings=recordings
         )
 
     def extract_stream(
@@ -451,6 +618,14 @@ class BuiltPipeline:
                     batch.extend(stage.process(event))
                 events = batch
             yield from events
+        # Stages downstream of extract never see SignalChunks (extract
+        # consumes them), so observers that account stream length — the
+        # store stage writes it as the recording's total_samples — get the
+        # final offset pushed to them before their flush runs.
+        for stage in self.stages:
+            observe = getattr(stage, "observe_stream_end", None)
+            if observe is not None:
+                observe(offset)
         # End of stream: flush each stage once, pushing its flushed events
         # through the stages downstream of it (single pass, like
         # repro.river.Pipeline.flush).

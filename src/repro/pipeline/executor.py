@@ -52,7 +52,10 @@ class CorpusExecutionError(RuntimeError):
     ``source`` a short description of it (the WAV path, the clip's station
     id, ...).  ``worker_traceback`` carries the traceback formatted inside
     a process worker, where the original exception object may not survive
-    pickling.
+    pickling.  ``completed`` lists the corpus indices whose results had
+    been collected — and persisted, when a ``store=`` was given — before
+    the failure, so callers can resume from where the run stopped instead
+    of redoing everything.
     """
 
     def __init__(
@@ -61,11 +64,13 @@ class CorpusExecutionError(RuntimeError):
         index: int | None = None,
         source: str | None = None,
         worker_traceback: str | None = None,
+        completed: tuple[int, ...] = (),
     ) -> None:
         super().__init__(message)
         self.index = index
         self.source = source
         self.worker_traceback = worker_traceback
+        self.completed = tuple(completed)
 
 
 def describe_source(item) -> str:
@@ -146,7 +151,11 @@ class CorpusExecutor:
     # -- public API -----------------------------------------------------------
 
     def run(
-        self, corpus, sample_rate: int | None = None
+        self,
+        corpus,
+        sample_rate: int | None = None,
+        store=None,
+        recordings=None,
     ) -> list[PipelineResult]:
         """Run the pipeline over every item of ``corpus``, in corpus order.
 
@@ -154,26 +163,61 @@ class CorpusExecutor:
         accepts as a single source (clips, arrays, WAV paths), or an object
         with a ``clips`` attribute such as
         :class:`~repro.synth.dataset.ClipCorpus`.
+
+        ``store`` persists each result into a feature store (a directory
+        path or an open :class:`~repro.store.StoreWriter`) as soon as it is
+        collected, under ``recordings`` names (default ``rec-00000`` …);
+        results are collected in corpus order on every backend, so a
+        failure leaves exactly the items in
+        :attr:`CorpusExecutionError.completed` persisted.
         """
         items = self._coerce_corpus(corpus)
+        if self.backend != "serial" and self._has_stage("store"):
+            raise PipelineBuildError(
+                "a 'store' stage appends through a single writer, which the "
+                f"{self.backend!r} backend would duplicate across workers "
+                "(concurrent writers corrupt the manifest); run store-stage "
+                "pipelines with backend='serial', or drop the stage and pass "
+                "store= to run_corpus() — results are then persisted in the "
+                "parent as they are collected"
+            )
+        names = None
+        if store is not None:
+            names = self._recording_names(items, recordings)
         if not items:
             return []
         if self.backend == "serial":
-            return self._run_serial(items, sample_rate)
+            return self._run_serial(items, sample_rate, store, names)
         if self.backend == "thread":
-            return self._run_thread(items, sample_rate)
-        return self._run_process(items, sample_rate)
+            return self._run_thread(items, sample_rate, store, names)
+        return self._run_process(items, sample_rate, store, names)
 
     # -- backends -------------------------------------------------------------
 
-    def _run_serial(self, items: list, sample_rate: int | None) -> list[PipelineResult]:
+    def _run_serial(
+        self, items: list, sample_rate: int | None, store=None, names=None
+    ) -> list[PipelineResult]:
         pipeline = self._pipeline or self.builder.build()
+        writer, owned = self._open_store(store)
+        features = self._has_stage("features")
         results: list[PipelineResult] = []
-        for index, item in enumerate(items):
-            results.append(self._run_one(pipeline, index, item, sample_rate))
+        try:
+            for index, item in enumerate(items):
+                try:
+                    result = self._run_one(pipeline, index, item, sample_rate)
+                except CorpusExecutionError as exc:
+                    exc.completed = tuple(range(index))
+                    raise
+                if writer is not None:
+                    self._persist(writer, names[index], item, result, features)
+                results.append(result)
+        finally:
+            self._close_store(writer, owned)
         return results
 
-    def _run_thread(self, items: list, sample_rate: int | None) -> list[PipelineResult]:
+    def _run_thread(
+        self, items: list, sample_rate: int | None, store=None, names=None
+    ) -> list[PipelineResult]:
         # One stage graph per worker thread: stages are stateful, so they
         # must never be shared, but rebuilding per item would waste work.
         local = threading.local()
@@ -186,9 +230,11 @@ class CorpusExecutor:
             return self._run_one(pipeline, index, item, sample_rate)
 
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return self._gather(pool, task, items)
+            return self._gather(pool, task, items, store, names)
 
-    def _run_process(self, items: list, sample_rate: int | None) -> list[PipelineResult]:
+    def _run_process(
+        self, items: list, sample_rate: int | None, store=None, names=None
+    ) -> list[PipelineResult]:
         try:
             payload = pickle.dumps(self.builder)
         except Exception as exc:
@@ -197,40 +243,51 @@ class CorpusExecutor:
                 f"workers, but this spec is not picklable: {exc}"
             ) from exc
         workers = min(self.workers, len(items))
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_init, initargs=(payload,)
-        ) as pool:
-            futures = [
-                pool.submit(_worker_run, index, item, sample_rate)
-                for index, item in enumerate(items)
-            ]
-            results: list[PipelineResult | None] = [None] * len(items)
-            for position, future in enumerate(futures):
-                try:
-                    index, result, error = future.result()
-                except Exception as exc:
-                    # Worker-side stage errors come back as data; anything
-                    # raised here is pool infrastructure — most commonly an
-                    # unpicklable corpus item, whose error lands on exactly
-                    # this future.  Honour the index/source contract anyway.
-                    source = describe_source(items[position])
-                    raise CorpusExecutionError(
-                        f"pipeline failed on corpus item {position} ({source}): "
-                        f"{type(exc).__name__}: {exc}",
-                        index=position,
-                        source=source,
-                    ) from exc
-                if error is not None:
-                    message, worker_tb = error
-                    source = describe_source(items[index])
-                    raise CorpusExecutionError(
-                        f"pipeline failed on corpus item {index} ({source}): "
-                        f"{message}\n--- worker traceback ---\n{worker_tb}",
-                        index=index,
-                        source=source,
-                        worker_traceback=worker_tb,
-                    )
-                results[index] = result
+        writer, owned = self._open_store(store)
+        features = self._has_stage("features")
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init, initargs=(payload,)
+            ) as pool:
+                futures = [
+                    pool.submit(_worker_run, index, item, sample_rate)
+                    for index, item in enumerate(items)
+                ]
+                results: list[PipelineResult | None] = [None] * len(items)
+                completed: list[int] = []
+                for position, future in enumerate(futures):
+                    try:
+                        index, result, error = future.result()
+                    except Exception as exc:
+                        # Worker-side stage errors come back as data; anything
+                        # raised here is pool infrastructure — most commonly an
+                        # unpicklable corpus item, whose error lands on exactly
+                        # this future.  Honour the index/source contract anyway.
+                        source = describe_source(items[position])
+                        raise CorpusExecutionError(
+                            f"pipeline failed on corpus item {position} ({source}): "
+                            f"{type(exc).__name__}: {exc}",
+                            index=position,
+                            source=source,
+                            completed=tuple(completed),
+                        ) from exc
+                    if error is not None:
+                        message, worker_tb = error
+                        source = describe_source(items[index])
+                        raise CorpusExecutionError(
+                            f"pipeline failed on corpus item {index} ({source}): "
+                            f"{message}\n--- worker traceback ---\n{worker_tb}",
+                            index=index,
+                            source=source,
+                            worker_traceback=worker_tb,
+                            completed=tuple(completed),
+                        )
+                    results[index] = result
+                    completed.append(index)
+                    if writer is not None:
+                        self._persist(writer, names[index], items[index], result, features)
+        finally:
+            self._close_store(writer, owned)
         return results  # type: ignore[return-value]
 
     # -- shared helpers -------------------------------------------------------
@@ -251,11 +308,68 @@ class CorpusExecutor:
                 source=source,
             ) from exc
 
-    def _gather(self, pool: Executor, task, items: list) -> list[PipelineResult]:
+    def _gather(
+        self, pool: Executor, task, items: list, store=None, names=None
+    ) -> list[PipelineResult]:
         futures = [pool.submit(task, index, item) for index, item in enumerate(items)]
         # Collect in submission (= corpus) order; the first failure wins and
         # the context manager drains the rest on exit.
-        return [future.result() for future in futures]
+        writer, owned = self._open_store(store)
+        features = self._has_stage("features")
+        results: list[PipelineResult] = []
+        try:
+            for position, future in enumerate(futures):
+                try:
+                    result = future.result()
+                except CorpusExecutionError as exc:
+                    exc.completed = tuple(range(position))
+                    raise
+                if writer is not None:
+                    self._persist(writer, names[position], items[position], result, features)
+                results.append(result)
+        finally:
+            self._close_store(writer, owned)
+        return results
+
+    # -- store plumbing -------------------------------------------------------
+
+    def _has_stage(self, name: str) -> bool:
+        if self.builder is not None:
+            return any(spec_name == name for spec_name, _ in self.builder.specs)
+        return any(stage.name == name for stage in self._pipeline.stages)
+
+    @staticmethod
+    def _recording_names(items: list, recordings) -> list[str]:
+        if recordings is None:
+            return [f"rec-{index:05d}" for index in range(len(items))]
+        names = [str(name) for name in recordings]
+        if len(names) != len(items):
+            raise ValueError(
+                f"recordings names {len(names)} must match corpus length {len(items)}"
+            )
+        return names
+
+    @staticmethod
+    def _open_store(store):
+        if store is None:
+            return None, False
+        from ..store.writer import coerce_writer
+
+        return coerce_writer(store)
+
+    @staticmethod
+    def _close_store(writer, owned: bool) -> None:
+        if writer is None:
+            return
+        if owned:
+            writer.close()
+        else:
+            writer.flush()
+
+    @staticmethod
+    def _persist(writer, name: str, item, result, features: bool) -> None:
+        station = str(getattr(item, "station_id", "") or "")
+        writer.write_result(name, result, station=station, features=features)
 
     @staticmethod
     def _coerce_corpus(corpus) -> list:

@@ -87,12 +87,38 @@ class StageRegistry:
 STAGES = StageRegistry()
 
 
+def _store_stage_factory(
+    path=None,
+    writer=None,
+    backend: str = "auto",
+    recording: str | None = None,
+    recording_prefix: str = "rec-",
+    station: str = "",
+    flush_values: int = 65_536,
+) -> Stage:
+    """Lazy factory for the ``"store"`` stage (mirrors the real signature so
+    :meth:`AcousticPipeline.instantiate` sees which overrides it accepts,
+    without importing :mod:`repro.store` until a store stage is used)."""
+    from ..store.stage import StoreWriterStage
+
+    return StoreWriterStage(
+        path=path,
+        writer=writer,
+        backend=backend,
+        recording=recording,
+        recording_prefix=recording_prefix,
+        station=station,
+        flush_values=flush_values,
+    )
+
+
 def _register_builtins() -> None:
     from .stages import ClassifyStage, ExtractStage, FeatureStage
 
     STAGES.register("extract", ExtractStage)
     STAGES.register("features", FeatureStage)
     STAGES.register("classify", ClassifyStage)
+    STAGES.register("store", _store_stage_factory)
 
 
 _register_builtins()

@@ -759,11 +759,54 @@ def _normalize_fan_out(fan_out, stages: list[Stage]) -> dict[str, int]:
     return per_stage
 
 
+def _store_sink_operators(store_stages: list[Stage], store) -> list[Operator]:
+    """Build the tail store sinks for a compiled river graph.
+
+    One sink per distinct store path, sourced from declared ``store`` stages
+    (which compile to sinks rather than in-graph stages — a sink survives
+    segment cuts and fan-out untouched) plus the explicit ``store=`` path.
+    """
+    if not store_stages and store is None:
+        return []
+    from ..store.backends import StoreError
+    from ..store.river_sink import StoreSinkOperator
+
+    sinks: list[Operator] = []
+    seen: set[str] = set()
+
+    def _name() -> str:
+        return "store-sink" if not sinks else f"store-sink-{len(sinks)}"
+
+    for stage in store_stages:
+        if stage.path is None:
+            raise StoreError(
+                "a store stage compiled into a river graph needs path= — a "
+                "live StoreWriter cannot cross segment or process boundaries"
+            )
+        path = str(stage.path)
+        if path in seen:
+            continue
+        seen.add(path)
+        sinks.append(
+            StoreSinkOperator(
+                path,
+                backend=stage.backend,
+                recording_prefix=stage.recording_prefix,
+                flush_values=stage.flush_values,
+                name=_name(),
+            )
+        )
+    if store is not None and str(store) not in seen:
+        sinks.append(StoreSinkOperator(str(store), name=_name()))
+    return sinks
+
+
 def compile_to_river(
     builder,
     name: str = "acoustic-pipeline",
     fan_out: int | dict[str, int] = 1,
     partition: str = "station",
+    store=None,
 ) -> RiverPipeline:
     """Instantiate a builder's stage graph as a Dynamic River pipeline.
 
@@ -780,8 +823,26 @@ def compile_to_river(
     fanned out.  ``partition`` selects the routing policy (``"station"`` or
     ``"roundrobin"``).  Fan-out never changes the output: the merge restores
     corpus order, so the record stream is bit-identical to ``fan_out=1``.
+
+    ``store`` (a directory path) appends a
+    :class:`~repro.store.StoreSinkOperator` at the graph's tail, persisting
+    every ensemble scope as it streams past; declared ``store`` stages
+    compile to the same tail sinks (never to in-graph stages, so fan-out and
+    segment cuts flow around them unchanged).
     """
-    stages = builder.instantiate(keep_traces=False)
+    all_stages = builder.instantiate(keep_traces=False)
+    store_stages = [stage for stage in all_stages if stage.name == "store"]
+    indexed = [
+        (index, stage)
+        for index, stage in enumerate(all_stages)
+        if stage.name != "store"
+    ]
+    stages = [stage for _, stage in indexed]
+    if isinstance(fan_out, dict) and "store" in fan_out:
+        raise ValueError(
+            "the store sink persists through a single writer and cannot be "
+            "fanned out"
+        )
     _prefer_streaming_features(stages)
     per_stage = _normalize_fan_out(fan_out, stages)
     # One independent instantiation per extra replica slot — of exactly the
@@ -789,17 +850,17 @@ def compile_to_river(
     # (the classifier object itself is shared by construction, exactly as
     # thread workers share it).
     spare_stages = {
-        index: [
-            builder.instantiate(only={index}, keep_traces=False)[0]
+        spec_index: [
+            builder.instantiate(only={spec_index}, keep_traces=False)[0]
             for _ in range(per_stage[stage.name] - 1)
         ]
-        for index, stage in enumerate(stages)
+        for spec_index, stage in indexed
         if per_stage.get(stage.name, 1) > 1
     }
     for spares in spare_stages.values():
         _prefer_streaming_features(spares)
     operators: list[Operator] = []
-    for index, stage in enumerate(stages):
+    for spec_index, stage in indexed:
         if isinstance(stage, ExtractStage):
             operators.append(ExtractStageOperator(stage))
             continue
@@ -812,7 +873,7 @@ def compile_to_river(
                 count, partition=partition, name=f"{stage.name}-partition"
             )
         )
-        replicas = [stage] + spare_stages[index]
+        replicas = [stage] + spare_stages[spec_index]
         for replica_index, replica_stage in enumerate(replicas):
             operators.append(
                 EnsembleStageOperator(
@@ -823,6 +884,7 @@ def compile_to_river(
                 )
             )
         operators.append(EnsembleMergeOperator(name=f"{stage.name}-merge"))
+    operators.extend(_store_sink_operators(store_stages, store))
     return RiverPipeline(operators, name=name)
 
 
@@ -931,6 +993,7 @@ def deploy_clips_via_river(
     channel_capacity: int = 256,
     stall_timeout: float = 60.0,
     sample_rate: int | None = None,
+    store=None,
 ) -> PipelineResult:
     """Deploy the compiled river graph on a fabric and run the clips through it.
 
@@ -959,7 +1022,7 @@ def deploy_clips_via_river(
             f"backend must be one of {', '.join(DEPLOY_BACKENDS)}; got {backend!r}"
         )
     host_speeds = _coerce_hosts(hosts)
-    river = pipeline.to_river(fan_out=fan_out, partition=partition)
+    river = pipeline.to_river(fan_out=fan_out, partition=partition, store=store)
     segments = split_into_segments(river)
     groups = replica_groups(segments)
     scheduler = StationScheduler(
@@ -1017,16 +1080,17 @@ def run_clips_via_river(
     record_size: int = 4096,
     fan_out: int | dict[str, int] = 1,
     partition: str = "station",
+    store=None,
 ) -> PipelineResult:
     """Convenience: stream clips through the compiled river pipeline.
 
     ``pipeline`` is an :class:`~repro.pipeline.builder.AcousticPipeline` or a
     :class:`~repro.pipeline.builder.BuiltPipeline`; each clip is chunked into
     ``record_size`` audio records exactly as a station uplink would deliver
-    it.  ``fan_out`` / ``partition`` are forwarded to ``to_river``.  Returns
-    the combined result over all clips.
+    it.  ``fan_out`` / ``partition`` / ``store`` are forwarded to
+    ``to_river``.  Returns the combined result over all clips.
     """
-    river = pipeline.to_river(fan_out=fan_out, partition=partition)
+    river = pipeline.to_river(fan_out=fan_out, partition=partition, store=store)
     source = ClipSource(list(clips), record_size=record_size)
     outputs = river.run_source(source)
     rate = int(clips[0].sample_rate) if clips else None

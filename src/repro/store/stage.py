@@ -1,0 +1,249 @@
+"""The ``"store"`` pipeline stage: persist events as they stream past.
+
+:class:`StoreWriterStage` is a pass-through observer — every event is
+forwarded unchanged, so it can sit anywhere after the extract stage without
+altering what downstream stages or the result assembly see.  It consumes
+fragment streams natively (``consumes_fragments``): audio slices and
+streamed partial patterns are appended to the store the moment they pass,
+so a still-open ensemble never buffers whole inside the stage — the peak
+held per open ensemble is one event's payload, and the writer's own
+``flush_values`` budget bounds what waits for the next shard cut.
+
+``n_patterns`` accounting on the fragment path needs to know whether a
+feature stage ran upstream (a close with zero streamed patterns is a
+*short* ensemble then, not a pattern-free extraction);
+:class:`~repro.pipeline.builder.BuiltPipeline` stamps
+:attr:`expect_features` when it assembles the graph.
+"""
+
+from __future__ import annotations
+
+from ..pipeline.results import (
+    ClassifiedEvent,
+    EnsembleEvent,
+    EnsembleFragmentEvent,
+    FeaturesEvent,
+    PipelineEvent,
+    SignalChunk,
+)
+from ..pipeline.stages import Stage
+from .backends import StoreError
+from .writer import StoreWriter
+
+__all__ = ["StoreWriterStage"]
+
+#: Stage-level default flush budget, smaller than the writer default so
+#: fragment-streamed runs cut shards while the ensemble is still open.
+STAGE_FLUSH_VALUES = 65_536
+
+
+class StoreWriterStage(Stage):
+    """Persist the event stream to a store while forwarding it unchanged."""
+
+    name = "store"
+    consumes_fragments = True
+
+    def __init__(
+        self,
+        path=None,
+        writer: StoreWriter | None = None,
+        backend: str = "auto",
+        recording: str | None = None,
+        recording_prefix: str = "rec-",
+        station: str = "",
+        flush_values: int = STAGE_FLUSH_VALUES,
+    ) -> None:
+        if path is None and writer is None:
+            raise StoreError("the store stage needs a path or a live StoreWriter")
+        self.path = path
+        self.backend = backend
+        self.recording = recording
+        self.recording_prefix = recording_prefix
+        self.station = station
+        self.flush_values = flush_values
+        self._writer = writer
+        #: Whether a feature stage runs upstream of this one; stamped by
+        #: BuiltPipeline when the graph is assembled (None = unknown).
+        self.expect_features: bool | None = None
+        self.sample_rate: int | None = None
+        #: Runs survive reset() so auto-named recordings stay unique.
+        self._run_index = 0
+        self._next_ordinal: dict[str, int] = {}
+        self._totals: dict[str, int] = {}
+        self._current: str | None = None
+        self._ordinal = 0
+        #: Samples carried by the recording before this run (appends).
+        self._total = 0
+        #: Samples seen during this run: counted from SignalChunks when they
+        #: reach this stage, else pushed by the pipeline's end-of-stream
+        #: observation (extract consumes chunks, so in-graph placement after
+        #: it sees none).
+        self._seen = 0
+        self._session: dict | None = None
+
+    @property
+    def writer(self) -> StoreWriter:
+        if self._writer is None:
+            self._writer = StoreWriter(
+                self.path, backend=self.backend, flush_values=self.flush_values
+            )
+        return self._writer
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, sample_rate: int) -> None:
+        self.sample_rate = int(sample_rate)
+        name = self.recording or f"{self.recording_prefix}{self._run_index:05d}"
+        self._run_index += 1
+        self._current = name
+        self._ordinal = self._next_ordinal.get(name, 0)
+        self._total = self._totals.get(name, 0)
+        self._seen = 0
+        self.writer.begin_recording(name, station=self.station, sample_rate=self.sample_rate)
+
+    def reset(self) -> None:
+        self._current = None
+        self._session = None
+        self._ordinal = 0
+        self._total = 0
+        self._seen = 0
+
+    def observe_stream_end(self, total_samples: int) -> None:
+        """Final stream offset, pushed by the pipeline before flushing."""
+        self._seen = max(self._seen, int(total_samples))
+
+    def flush(self) -> list[PipelineEvent]:
+        if self._current is not None:
+            total = self._total + self._seen
+            self._next_ordinal[self._current] = self._ordinal
+            self._totals[self._current] = total
+            self.writer.end_recording(self._current, total_samples=total)
+            self.writer.flush()
+        return []
+
+    # -- event observation -----------------------------------------------------
+
+    def process(self, event: PipelineEvent) -> list[PipelineEvent]:
+        if isinstance(event, SignalChunk):
+            self._seen += event.samples.size
+            return [event]
+        if isinstance(event, EnsembleFragmentEvent):
+            self._observe_fragment(event)
+            return [event]
+        if isinstance(event, (EnsembleEvent, FeaturesEvent, ClassifiedEvent)):
+            if isinstance(event, FeaturesEvent) and event.partial:
+                self._observe_partial(event)
+            else:
+                self._observe_terminal(event)
+            return [event]
+        return [event]
+
+    def _observe_fragment(self, event: EnsembleFragmentEvent) -> None:
+        recording = self._current
+        if recording is None:
+            return
+        if event.kind == "open":
+            self.writer.open_ensemble(
+                recording, self._ordinal, event.start, sample_rate=event.sample_rate
+            )
+            self._session = {
+                "start": int(event.start),
+                "samples": 0,
+                "streamed": 0,
+                "terminal": False,
+            }
+            return
+        session = self._session
+        if session is None:
+            return
+        if event.kind == "data":
+            if event.samples is None:
+                return
+            offset = (
+                int(event.offset)
+                if event.offset is not None
+                else session["start"] + session["samples"]
+            )
+            self.writer.append_audio(recording, self._ordinal, offset, event.samples)
+            session["samples"] += int(event.samples.size)
+            return
+        # close: a terminal event already sealed the row, or seal it now
+        # from the close marker (features(emit="patterns") or extract-only).
+        if session["terminal"]:
+            self._session = None
+            self._ordinal += 1
+            return
+        end = (
+            int(event.end)
+            if event.end is not None
+            else session["start"] + max(session["samples"], 1)
+        )
+        if session["streamed"] > 0:
+            n_patterns = session["streamed"]
+        else:
+            n_patterns = 0 if self.expect_features else -1
+        self.writer.close_ensemble(
+            recording, self._ordinal, end, n_patterns=n_patterns
+        )
+        self._session = None
+        self._ordinal += 1
+
+    def _observe_partial(self, event: FeaturesEvent) -> None:
+        session = self._session
+        if self._current is None or session is None:
+            return
+        for pattern in event.patterns:
+            self.writer.append_pattern(
+                self._current, self._ordinal, session["streamed"], pattern
+            )
+            session["streamed"] += 1
+
+    def _observe_terminal(self, event) -> None:
+        recording = self._current
+        if recording is None:
+            return
+        ensemble = event.ensemble
+        patterns = event.patterns
+        featured = isinstance(event, (FeaturesEvent, ClassifiedEvent))
+        n_patterns = len(patterns) if featured else -1
+        session = self._session
+        if session is not None:
+            # Fragment mode with a reassembling feature stage: the streamed
+            # rows are already written, so top up what the terminal event
+            # adds (whole audio when data fragments were consumed upstream,
+            # patterns not streamed as partials) and seal the row.
+            session["terminal"] = True
+            if session["samples"] == 0 and ensemble.samples.size:
+                self.writer.append_audio(
+                    recording, self._ordinal, ensemble.start, ensemble.samples
+                )
+            for index in range(session["streamed"], len(patterns)):
+                self.writer.append_pattern(recording, self._ordinal, index, patterns[index])
+            self.writer.close_ensemble(
+                recording,
+                self._ordinal,
+                ensemble.end,
+                n_patterns=n_patterns,
+                label=event.label,
+                ens_label=ensemble.label,
+                sample_rate=ensemble.sample_rate,
+            )
+            return
+        ordinal = self._ordinal
+        self.writer.open_ensemble(
+            recording, ordinal, ensemble.start, sample_rate=ensemble.sample_rate
+        )
+        if ensemble.samples.size:
+            self.writer.append_audio(recording, ordinal, ensemble.start, ensemble.samples)
+        for index, pattern in enumerate(patterns):
+            self.writer.append_pattern(recording, ordinal, index, pattern)
+        self.writer.close_ensemble(
+            recording,
+            ordinal,
+            ensemble.end,
+            n_patterns=n_patterns,
+            label=event.label,
+            ens_label=ensemble.label,
+            sample_rate=ensemble.sample_rate,
+        )
+        self._ordinal += 1

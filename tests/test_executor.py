@@ -292,7 +292,9 @@ class TestSpecPickleRoundTrip:
         clip = corpus_clips[0]
         specs = trained_builder.specs
         assert {name for name, _ in specs} == {"extract", "features", "classify"}
-        assert set(STAGES.names()) == {name for name, _ in specs}
+        # "store" needs a filesystem path, so its spec round-trips in the
+        # dedicated test below.
+        assert set(STAGES.names()) == {name for name, _ in specs} | {"store"}
         restored = pickle.loads(pickle.dumps(specs))
         rebuilt = AcousticPipeline()
         for name, kwargs in restored:
@@ -300,6 +302,25 @@ class TestSpecPickleRoundTrip:
         assert_same_results(
             [trained_builder.build().run(clip)], [rebuilt.build().run(clip)]
         )
+
+    def test_store_stage_spec_round_trips(self, trained_builder, corpus_clips, tmp_path):
+        from repro.store import StoreReader
+
+        clip = corpus_clips[0]
+        builder = pickle.loads(pickle.dumps(trained_builder)).stage(
+            "store", path=tmp_path / "spec-store", recording="clip"
+        )
+        restored = pickle.loads(pickle.dumps(builder.specs))
+        assert {name for name, _ in restored} == set(STAGES.names())
+        rebuilt = AcousticPipeline()
+        for name, kwargs in restored:
+            rebuilt.stage(name, **kwargs)
+        assert_same_results(
+            [trained_builder.build().run(clip)], [rebuilt.build().run(clip)]
+        )
+        reader = StoreReader(tmp_path / "spec-store")
+        assert reader.recordings() == ["clip"]
+        assert not reader.incomplete()["recordings"]
 
     def test_builder_itself_round_trips(self, trained_builder, corpus_clips):
         clip = corpus_clips[1]
