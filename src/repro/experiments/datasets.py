@@ -157,6 +157,7 @@ def build_experiment_data(
     workers: int | None = None,
     store=None,
     from_store=None,
+    ledger=None,
 ) -> ExperimentData:
     """Generate the corpus, extract ensembles and build all four data sets.
 
@@ -169,6 +170,12 @@ def build_experiment_data(
     ``from_store`` skips corpus generation and extraction entirely,
     replaying a store written that way — the resulting data sets are
     bit-identical to the extract-from-raw path.
+
+    ``ledger`` makes the extraction durable and resumable (see
+    :func:`repro.jobs.run_corpus`): an interrupted table build picks up
+    where it stopped instead of re-extracting the whole corpus.  Clips
+    the ledger quarantined (failed ``max_attempts`` times) are excluded
+    from the data sets — the run degrades instead of aborting.
     """
     if scale.corpus.sample_rate != config.sample_rate:
         config = replace(config, sample_rate=scale.corpus.sample_rate)
@@ -200,7 +207,9 @@ def build_experiment_data(
             .extract(config, hop=hop, normalization="global", keep_traces=False)
             .build()
         )
-        results = pipeline.run_corpus(corpus.clips, backend=backend, workers=workers)
+        results = pipeline.run_corpus(
+            corpus.clips, backend=backend, workers=workers, ledger=ledger
+        )
         writer = None
         owned = False
         if store is not None:
@@ -212,6 +221,8 @@ def build_experiment_data(
         retained = 0
         try:
             for index, (clip, result) in enumerate(zip(corpus.clips, results)):
+                if result is None:  # quarantined by the ledger: excluded
+                    continue
                 total += result.total_samples
                 retained += result.retained_samples
                 labelled = result.labelled(clip)

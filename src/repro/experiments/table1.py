@@ -34,16 +34,20 @@ def build_table1(
     scale: ExperimentScale = BENCH_SCALE,
     store=None,
     from_store=None,
+    ledger=None,
 ) -> list[Table1Row]:
     """Compute the per-species counts for the given experiment data.
 
-    ``store`` / ``from_store`` are forwarded to
+    ``store`` / ``from_store`` / ``ledger`` are forwarded to
     :func:`~repro.experiments.datasets.build_experiment_data` (ignored when
-    ``data`` is passed in): persist the extracted ensembles, or replay them
-    from a feature store without re-extracting.
+    ``data`` is passed in): persist the extracted ensembles, replay them
+    from a feature store without re-extracting, or run the extraction
+    under a durable, resumable job ledger.
     """
     if data is None:
-        data = build_experiment_data(scale, store=store, from_store=from_store)
+        data = build_experiment_data(
+            scale, store=store, from_store=from_store, ledger=ledger
+        )
     counts = data.species_counts()
     rows = []
     for model in SPECIES:

@@ -56,6 +56,7 @@ def build_table2(
     workers: int | None = None,
     store=None,
     from_store=None,
+    ledger=None,
 ) -> list[Table2Row]:
     """Run the Table 2 experiments and return the rows.
 
@@ -65,10 +66,17 @@ def build_table2(
     ``store`` / ``from_store`` persist the extracted ensembles to a feature
     store, or replay them from one without re-extracting (ignored when
     ``data`` is passed in); the rows are bit-identical either way.
+    ``ledger`` runs the extraction under a durable, resumable job ledger
+    (see :func:`repro.jobs.run_corpus`).
     """
     if data is None:
         data = build_experiment_data(
-            scale, backend=backend, workers=workers, store=store, from_store=from_store
+            scale,
+            backend=backend,
+            workers=workers,
+            store=store,
+            from_store=from_store,
+            ledger=ledger,
         )
     rows: list[Table2Row] = []
     for name in datasets:

@@ -1,0 +1,398 @@
+"""The ledgered corpus runner: resumable, retrying, quarantine-on-poison.
+
+:func:`run_corpus` drives a :class:`~repro.jobs.ledger.Ledger` through a
+corpus with the same backends as the plain
+:class:`~repro.pipeline.executor.CorpusExecutor` (serial / thread /
+process), but with per-item durability instead of first-failure abort:
+
+* every claimable row is marked ``busy`` *before* dispatch and ``done``
+  only after its result has been collected **and** persisted to the
+  optional ``store=`` — the store is flushed before the ledger advances,
+  so ``done`` always means "durable on disk";
+* a failing item is retried with exponential backoff and quarantined
+  after ``max_attempts`` instead of aborting the whole run;
+* a killed run resumes exactly where it stopped: completed items are
+  recovered from the store (never re-extracted), the interrupted item is
+  re-dispatched, and the merged output is bit-identical to an
+  uninterrupted run.
+
+The runner assumes *exclusive* ownership of its ledger file — it reclaims
+``busy`` rows unconditionally on startup.  To drain one ledger from many
+machines, run the HTTP control plane instead
+(``python -m repro.jobs serve``; see :mod:`repro.jobs.service`), which
+arbitrates claims with per-worker leases.
+
+Store discipline: the runner opens its writer with an effectively
+unbounded flush budget and flushes explicitly once per item, so shard
+files always cut at item boundaries.  A crash mid-item therefore leaves
+*nothing* of that item durable — resume re-runs it cleanly — rather than
+a partial recording whose re-append would duplicate rows.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from ..pipeline.builder import PipelineBuildError
+from ..pipeline.executor import (
+    BACKENDS,
+    CorpusExecutionError,
+    CorpusExecutor,
+    _worker_init,
+    _worker_run,
+    describe_source,
+)
+from .ledger import DONE, Ledger, LedgerConfig, LedgerError
+
+__all__ = ["run_corpus", "coerce_ledger"]
+
+#: Flush budget that never auto-flushes: the runner cuts shards itself,
+#: exactly once per completed item, so partially-run items are never
+#: durable.  (One item's rows are buffered in memory — the same order of
+#: magnitude as the item's PipelineResult itself.)
+_NO_AUTO_FLUSH = 2**62
+
+
+def coerce_ledger(
+    ledger,
+    sources: list[str],
+    recordings: list[str],
+    config: LedgerConfig | None = None,
+) -> Ledger:
+    """Turn ``ledger`` (a path or a live :class:`Ledger`) into a validated
+    Ledger matching ``sources``.
+
+    ``config`` applies only when a new ledger file is created; an existing
+    ledger keeps the retry policy it was created with, so every process
+    that ever touches it applies the same rules.
+    """
+    if isinstance(ledger, Ledger):
+        ledger.validate_corpus(sources)
+        return ledger
+    return Ledger.open_or_create(
+        ledger, sources=sources, recordings=recordings, config=config
+    )
+
+
+def run_corpus(
+    pipeline,
+    corpus,
+    ledger,
+    backend: str = "serial",
+    workers: int | None = None,
+    sample_rate: int | None = None,
+    store=None,
+    recordings=None,
+    config: LedgerConfig | None = None,
+    worker_id: str | None = None,
+):
+    """Run ``pipeline`` over ``corpus`` under a durable job ledger.
+
+    Returns the results in corpus order, ``None`` in the positions of
+    quarantined items (the ledger file names them, with their errors;
+    ``python -m repro.jobs status <ledger>`` exits non-zero when any
+    exist).  All other semantics — accepted corpus/pipeline types,
+    backend meanings, bit-identical outputs across backends — match
+    :meth:`~repro.pipeline.builder.BuiltPipeline.run_corpus`.
+
+    ``ledger`` is a file path (created on first use, resumed thereafter)
+    or a live :class:`~repro.jobs.ledger.Ledger`.  ``store`` is required
+    for *result* durability: without it the ledger still bounds rework
+    within one process lifetime (retries, quarantine), but a killed run
+    cannot recover completed results from anywhere, so surviving ``done``
+    rows are reopened and re-run on resume.  With a store, ``done`` rows
+    are recovered from it without re-extraction.
+    """
+    executor = CorpusExecutor(pipeline, backend=backend, workers=workers)
+    if executor._has_stage("store"):
+        raise PipelineBuildError(
+            "ledgered runs persist through store=, which flushes once per "
+            "completed item so resume never sees a partial write; an "
+            "in-graph 'store' stage would bypass that discipline — drop the "
+            "stage and pass store= to run_corpus(ledger=...)"
+        )
+    items = CorpusExecutor._coerce_corpus(corpus)
+    names = CorpusExecutor._recording_names(items, recordings)
+    sources = [describe_source(item) for item in items]
+    book = coerce_ledger(ledger, sources, names, config=config)
+    worker_id = worker_id or f"runner-{os.getpid()}"
+    if not items:
+        return []
+
+    results = [None] * len(items)
+    # Rows still busy belong to a dead previous run of this exclusive
+    # runner; reclaim them (one attempt charged — a crash loop quarantines
+    # its poison item instead of wedging forever).
+    book.recover_busy()
+
+    writer = None
+    owned_writer = False
+    aborted = False
+    features = executor._has_stage("features")
+    try:
+        if store is None:
+            # No store, no result durability: done rows from a previous
+            # process hold results only that process ever saw.  Reopen them
+            # so this run reproduces every result it returns.
+            for row in book.rows:
+                if row.state == DONE:
+                    book.reopen(row.index)
+        else:
+            writer, owned_writer = _open_runner_store(store)
+            _reconcile_with_store(book, writer.path, results)
+
+        _drain(executor, book, items, sample_rate, writer, features, results, worker_id)
+    except CorpusExecutionError:
+        # A persist failure aborted the run (see _settle): the writer's
+        # buffer may hold rows for items the ledger recorded as *failed* —
+        # flushing them would persist results the ledger disowns (and on a
+        # genuinely full disk would raise again, masking the real error).
+        # Drop the buffer; everything flushed before the failure is intact.
+        aborted = True
+        raise
+    finally:
+        if writer is not None and not aborted:
+            if owned_writer:
+                writer.close()
+            else:
+                writer.flush()
+    return results
+
+
+# -- store recovery ------------------------------------------------------------
+
+
+def _open_runner_store(store):
+    """Open the run's store writer with auto-flush disabled (see module
+    docstring); a live writer passed in is used as-is."""
+    from ..store.writer import StoreWriter
+
+    if isinstance(store, StoreWriter):
+        return store, False
+    return StoreWriter(store, flush_values=_NO_AUTO_FLUSH), True
+
+
+def _reconcile_with_store(book: Ledger, store_path, results: list) -> None:
+    """Square the ledger with what the store actually holds.
+
+    * a non-terminal row whose recording is *complete* in the store was
+      persisted by a run that died before recording the completion —
+      adopt it as done;
+    * a ``done`` row missing from the store lost its durability (the
+      store was moved or truncated) — reopen it;
+    * a non-terminal row whose recording is *incomplete* (partial rows on
+      disk) cannot be re-appended without duplicating ensembles — the
+      append-only store has no row delete — so quarantine it with an
+      explanation rather than corrupt the output.
+
+    Results of every (now-)done row are rebuilt from the store, so resume
+    returns them without re-extraction.
+    """
+    from ..store.reader import StoreReader
+    from ..store.schema import MANIFEST_NAME
+
+    if not (store_path / MANIFEST_NAME).exists():
+        # Brand-new store: nothing persisted yet, so any `done` row is a
+        # lie (or the caller pointed the ledger at the wrong store).
+        for row in book.rows:
+            if row.state == DONE:
+                book.reopen(row.index)
+        return
+    reader = StoreReader(store_path)
+    incomplete = set(reader.incomplete()["recordings"])
+    present = set(reader.recordings())
+    complete = present - incomplete
+    for row in book.rows:
+        if row.state == DONE and row.recording not in complete:
+            book.reopen(row.index)
+        elif not row.terminal and row.recording in complete:
+            book.adopt_done(row.index)
+        elif not row.terminal and row.recording in incomplete:
+            book.quarantine(
+                row.index,
+                f"store holds a partial write for recording {row.recording!r}; "
+                "appending again would duplicate its rows — rewrite the store "
+                "(e.g. a from_store= sweep into a fresh path) and reopen this "
+                "item",
+            )
+    for row in book.rows:
+        if row.state == DONE:
+            results[row.index] = reader.result(row.recording)
+
+
+# -- the drain loop ------------------------------------------------------------
+
+
+def _drain(
+    executor: CorpusExecutor,
+    book: Ledger,
+    items: list,
+    sample_rate: int | None,
+    writer,
+    features: bool,
+    results: list,
+    worker_id: str,
+) -> None:
+    """Claim-and-run rounds until every row is terminal."""
+    run_round = {
+        "serial": _round_serial,
+        "thread": _round_thread,
+        "process": _round_process,
+    }[executor.backend]
+    # Bound each claim to the backend's real in-flight window: `busy` rows
+    # are exactly the items a crash right now would charge an attempt to
+    # (recover_busy), so claiming the whole corpus up front would let one
+    # crash tax every row.  Serial dispatches one item at a time.
+    window = 1 if executor.backend == "serial" else executor.workers
+    with _backend_pool(executor, items) as pool:
+        while True:
+            batch = book.claim_batch(worker_id, limit=window)
+            if not batch:
+                if book.all_settled():
+                    return
+                deadline = book.next_retry_at()
+                if deadline is None:  # pragma: no cover - defensive
+                    return
+                time.sleep(min(max(deadline - time.time(), 0.0), 1.0) + 0.005)
+                continue
+            run_round(
+                executor, pool, book, batch, items, sample_rate, writer, features,
+                results, worker_id,
+            )
+
+
+class _backend_pool:
+    """Create (lazily) and tear down the round-spanning worker pool."""
+
+    def __init__(self, executor: CorpusExecutor, items: list) -> None:
+        self.executor = executor
+        self.items = items
+        self.pool = None
+
+    def __enter__(self):
+        if self.executor.backend == "thread":
+            self.pool = ThreadPoolExecutor(max_workers=self.executor.workers)
+        elif self.executor.backend == "process":
+            try:
+                payload = pickle.dumps(self.executor.builder)
+            except Exception as exc:
+                raise CorpusExecutionError(
+                    "the process backend pickles the pipeline spec to the "
+                    f"workers, but this spec is not picklable: {exc}"
+                ) from exc
+            self.pool = ProcessPoolExecutor(
+                max_workers=min(self.executor.workers, max(len(self.items), 1)),
+                initializer=_worker_init,
+                initargs=(payload,),
+            )
+        return self.pool
+
+    def __exit__(self, *exc_info) -> None:
+        if self.pool is not None:
+            self.pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _round_serial(
+    executor, pool, book, batch, items, sample_rate, writer, features, results, worker_id
+) -> None:
+    pipeline = executor._pipeline or executor.builder.build()
+    executor._pipeline = pipeline  # reuse across rounds
+    for row in batch:
+        item = items[row.index]
+        try:
+            result = pipeline.run(item, sample_rate=sample_rate)
+        except Exception as exc:
+            book.mark_failed(
+                row.index, f"{type(exc).__name__}: {exc}", worker=worker_id
+            )
+            continue
+        _settle(executor, book, row, item, result, writer, features, results, worker_id)
+
+
+def _round_thread(
+    executor, pool, book, batch, items, sample_rate, writer, features, results, worker_id
+) -> None:
+    local = threading.local()
+
+    def task(item):
+        pipeline = getattr(local, "pipeline", None)
+        if pipeline is None:
+            pipeline = executor.builder.build()
+            local.pipeline = pipeline
+        return pipeline.run(item, sample_rate=sample_rate)
+
+    futures = [(row, pool.submit(task, items[row.index])) for row in batch]
+    # Collect in claim (= corpus) order so persists land deterministically,
+    # exactly like the unledgered thread backend.
+    for row, future in futures:
+        try:
+            result = future.result()
+        except Exception as exc:
+            book.mark_failed(
+                row.index, f"{type(exc).__name__}: {exc}", worker=worker_id
+            )
+            continue
+        _settle(executor, book, row, items[row.index], result, writer, features, results, worker_id)
+
+
+def _round_process(
+    executor, pool, book, batch, items, sample_rate, writer, features, results, worker_id
+) -> None:
+    futures = [
+        (row, pool.submit(_worker_run, row.index, items[row.index], sample_rate))
+        for row in batch
+    ]
+    for row, future in futures:
+        try:
+            _, result, error = future.result()
+        except Exception as exc:
+            # Pool infrastructure failure on this item (most commonly an
+            # unpicklable corpus item) — charge it like any other failure.
+            book.mark_failed(
+                row.index, f"{type(exc).__name__}: {exc}", worker=worker_id
+            )
+            continue
+        if error is not None:
+            message, worker_tb = error
+            book.mark_failed(row.index, message, worker=worker_id)
+            continue
+        _settle(executor, book, row, items[row.index], result, writer, features, results, worker_id)
+
+
+def _settle(
+    executor, book, row, item, result, writer, features, results, worker_id
+) -> None:
+    """Persist one collected result, then — and only then — mark it done."""
+    if writer is not None:
+        try:
+            executor._persist(writer, row.recording, item, result, features)
+            writer.flush()
+        except Exception as exc:
+            # A persist failure is a *store* problem (full disk, bad
+            # shard), not an item problem: charge the attempt for
+            # honesty, then abort the run — the writer's buffered state
+            # can no longer be trusted, and every further persist would
+            # hit the same disk.  The ledger survives for resume.
+            source = describe_source(item)
+            try:
+                book.mark_failed(
+                    row.index,
+                    f"persist failed: {type(exc).__name__}: {exc}",
+                    worker=worker_id,
+                )
+            except LedgerError:  # pragma: no cover - defensive
+                pass
+            done = tuple(r.index for r in book.rows if r.state == DONE)
+            raise CorpusExecutionError(
+                f"failed to persist corpus item {row.index} ({source}) to "
+                f"the store: {type(exc).__name__}: {exc}",
+                index=row.index,
+                source=source,
+                completed=done,
+            ) from exc
+    book.mark_done(row.index, worker=worker_id)
+    results[row.index] = result

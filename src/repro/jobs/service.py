@@ -1,0 +1,202 @@
+"""The ledger control plane: a stdlib HTTP server handing out work units.
+
+``python -m repro.jobs serve <ledger>`` (or :class:`LedgerService` in
+code) owns one :class:`~repro.jobs.ledger.Ledger` file and arbitrates it
+over five tiny JSON endpoints, turning "resumable on one box" into "many
+machines drain one corpus":
+
+========  =======  ==================================================
+method    path     body → response
+========  =======  ==================================================
+GET       /status  → ``{"counts": .., "settled": .., "quarantined": ..}``
+POST      /claim   ``{"worker", "lease"?}`` → ``{"item": {...} | null,
+                   "settled": bool, "retry_after": seconds}``
+POST      /heartbeat  ``{"worker", "index", "lease"?}`` → ``{"ok": true}``
+POST      /done    ``{"worker", "index"}`` → ``{"ok": true}``
+POST      /fail    ``{"worker", "index", "error"}`` → ``{"item": {...}}``
+========  =======  ==================================================
+
+Claims carry a lease: a worker that stops heart-beating is presumed dead
+and its ``busy`` rows lapse back to ``open`` (one attempt charged), so a
+crashed machine costs a bounded delay, never a stuck corpus.  State-
+machine violations (double-done, done from a lapsed lease, ...) come back
+as HTTP 409 with the ledger's explanation; malformed requests as 400.
+
+The server is the stdlib ``ThreadingHTTPServer`` — one corpus item per
+claim means the control plane moves a few hundred bytes per item, so a
+single Python thread pool is plenty even for millions of items; the heavy
+lifting happens in the workers.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .ledger import Ledger, LedgerError
+
+__all__ = ["LedgerService"]
+
+
+class LedgerService:
+    """Serve one ledger file to pull-based workers over HTTP."""
+
+    def __init__(self, ledger, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.ledger = ledger if isinstance(ledger, Ledger) else Ledger.open(ledger)
+        self._lock = threading.Lock()
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.service = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:  # pragma: no cover - CLI path
+        self._server.serve_forever()
+
+    def start(self) -> "LedgerService":
+        """Serve on a background thread (tests, embedded control planes)."""
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "LedgerService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- ledger operations (all under one lock) --------------------------------
+
+    def claim(self, worker: str, lease: float | None = None) -> dict:
+        with self._lock:
+            row = self.ledger.claim(worker, lease=lease)
+            if row is None:
+                retry = self.ledger.next_retry_at()
+                return {
+                    "item": None,
+                    "settled": self.ledger.all_settled(),
+                    "retry_after": max(retry - time.time(), 0.0) if retry else 1.0,
+                }
+            return {
+                "item": asdict(row),
+                "settled": False,
+                "lease": lease if lease is not None else self.ledger.config.lease,
+            }
+
+    def heartbeat(self, worker: str, index: int, lease: float | None = None) -> dict:
+        with self._lock:
+            self.ledger.heartbeat(int(index), worker, lease=lease)
+            return {"ok": True}
+
+    def done(self, worker: str, index: int) -> dict:
+        with self._lock:
+            self.ledger.mark_done(int(index), worker=worker)
+            return {"ok": True}
+
+    def fail(self, worker: str, index: int, error: str) -> dict:
+        with self._lock:
+            row = self.ledger.mark_failed(int(index), str(error), worker=worker)
+            return {"item": asdict(row)}
+
+    def status(self) -> dict:
+        with self._lock:
+            return {
+                "counts": self.ledger.counts(),
+                "settled": self.ledger.all_settled(),
+                "quarantined": [
+                    {"index": row.index, "source": row.source, "error": row.error}
+                    for row in self.ledger.quarantined()
+                ],
+            }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route the five endpoints onto the service, JSON in / JSON out."""
+
+    # Keep worker round-trips cheap: no per-request connection teardown.
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> LedgerService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, *args) -> None:  # noqa: D102 - silence stderr chatter
+        pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if self.path.rstrip("/") in ("", "/status"):
+            self._reply(200, self.service.status())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(body, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"bad request body: {exc}"})
+            return
+        try:
+            if self.path == "/claim":
+                payload = self.service.claim(
+                    self._field(body, "worker"), lease=body.get("lease")
+                )
+            elif self.path == "/heartbeat":
+                payload = self.service.heartbeat(
+                    self._field(body, "worker"),
+                    self._field(body, "index"),
+                    lease=body.get("lease"),
+                )
+            elif self.path == "/done":
+                payload = self.service.done(
+                    self._field(body, "worker"), self._field(body, "index")
+                )
+            elif self.path == "/fail":
+                payload = self.service.fail(
+                    self._field(body, "worker"),
+                    self._field(body, "index"),
+                    body.get("error", "worker reported failure"),
+                )
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+                return
+        except KeyError as exc:
+            self._reply(400, {"error": f"missing field {exc.args[0]!r}"})
+            return
+        except LedgerError as exc:
+            # State-machine conflicts (lapsed lease, double-done, ...) are
+            # the worker's signal to drop its item and claim afresh.
+            self._reply(409, {"error": str(exc)})
+            return
+        self._reply(200, payload)
+
+    @staticmethod
+    def _field(body: dict, name: str):
+        if name not in body:
+            raise KeyError(name)
+        return body[name]
+
+    def _reply(self, code: int, payload: dict) -> None:
+        data = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)

@@ -1,0 +1,198 @@
+"""The pull-based corpus worker: claim → run → persist → report, repeat.
+
+``python -m repro.jobs work --url http://host:port`` (or
+:class:`JobWorker` in code) drains work units from a
+:class:`~repro.jobs.service.LedgerService` control plane.  Each claimed
+item names its source (a WAV path the worker can reach — shared
+filesystem or rsync'd mirror) and its store recording name; the worker
+runs its pipeline on the source, optionally persists the result to its
+*own* store (flushed before the done-report, so ``done`` means durable),
+and reports the outcome.
+
+While an item runs, a daemon thread heart-beats its lease at a third of
+the lease interval; a worker that dies mid-item simply stops beating and
+the control plane lapses the row back to the pool.  A 409 from the
+control plane (the lease already lapsed and someone else took the row)
+makes the worker drop the item silently — its work is discarded, not
+double-reported.
+
+Per-worker stores are intentionally separate; merging them into one
+archive is the store compaction story (see ROADMAP), not the worker's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["JobWorker", "WorkerError", "ControlPlaneConflict"]
+
+
+class WorkerError(RuntimeError):
+    """The control plane rejected a request or became unreachable."""
+
+
+class ControlPlaneConflict(WorkerError):
+    """HTTP 409: the ledger's state moved on without us (lapsed lease)."""
+
+
+class JobWorker:
+    """Drain pipeline work units from a ledger control plane."""
+
+    def __init__(
+        self,
+        url: str,
+        pipeline,
+        store=None,
+        worker_id: str | None = None,
+        sample_rate: int | None = None,
+        poll: float = 1.0,
+        timeout: float = 30.0,
+    ) -> None:
+        from ..pipeline.builder import AcousticPipeline
+
+        self.url = url.rstrip("/")
+        self.pipeline = (
+            pipeline.build() if isinstance(pipeline, AcousticPipeline) else pipeline
+        )
+        self.store = store
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.sample_rate = sample_rate
+        self.poll = float(poll)
+        self.timeout = float(timeout)
+        self.completed = 0
+        self.failed = 0
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, max_items: int | None = None) -> int:
+        """Pull and process work until the ledger settles (or ``max_items``).
+
+        Returns the number of items this worker completed.
+        """
+        writer, owned = self._open_store()
+        features = any(stage.name == "features" for stage in self.pipeline.stages)
+        try:
+            while max_items is None or (self.completed + self.failed) < max_items:
+                reply = self._post("/claim", {"worker": self.worker_id})
+                item = reply.get("item")
+                if item is None:
+                    if reply.get("settled"):
+                        break
+                    time.sleep(min(float(reply.get("retry_after", self.poll)), self.poll))
+                    continue
+                self._process(item, float(reply.get("lease", 60.0)), writer, features)
+        finally:
+            if writer is not None:
+                writer.close() if owned else writer.flush()
+        return self.completed
+
+    def _process(self, item: dict, lease: float, writer, features: bool) -> None:
+        index = int(item["index"])
+        beat = _Heartbeat(self, index, lease)
+        beat.start()
+        try:
+            result = self.pipeline.run(item["source"], sample_rate=self.sample_rate)
+            if writer is not None:
+                writer.write_result(item["recording"], result, features=features)
+                writer.flush()
+        except Exception as exc:
+            beat.stop()
+            self.failed += 1
+            try:
+                self._post(
+                    "/fail",
+                    {
+                        "worker": self.worker_id,
+                        "index": index,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    },
+                )
+            except ControlPlaneConflict:
+                pass  # lease lapsed first; the ledger already charged it
+            return
+        beat.stop()
+        try:
+            self._post("/done", {"worker": self.worker_id, "index": index})
+        except ControlPlaneConflict:
+            # Someone else holds (or finished) the row: our copy of the
+            # work is discarded, never double-counted.
+            self.failed += 1
+            return
+        self.completed += 1
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _open_store(self):
+        if self.store is None:
+            return None, False
+        from ..store.writer import StoreWriter
+
+        if isinstance(self.store, StoreWriter):
+            return self.store, False
+        from .executor import _NO_AUTO_FLUSH
+
+        return StoreWriter(self.store, flush_values=_NO_AUTO_FLUSH), True
+
+    def _post(self, path: str, payload: dict) -> dict:
+        data = json.dumps(payload).encode()
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read() or b"{}").get("error", "")
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+            if exc.code == 409:
+                raise ControlPlaneConflict(detail or str(exc)) from exc
+            raise WorkerError(
+                f"control plane rejected {path}: HTTP {exc.code} {detail}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise WorkerError(
+                f"control plane unreachable at {self.url + path}: {exc.reason}"
+            ) from exc
+
+
+class _Heartbeat(threading.Thread):
+    """Renew one claimed row's lease until stopped.
+
+    Heartbeat failures are swallowed: if the lease already lapsed the
+    done/fail report will hit the 409 and the worker handles it there —
+    raising from a daemon thread would help no one.
+    """
+
+    def __init__(self, worker: JobWorker, index: int, lease: float) -> None:
+        super().__init__(daemon=True)
+        self.worker = worker
+        self.index = index
+        self.interval = max(lease / 3.0, 0.05)
+        # Not named _stop: Thread itself has a private _stop method.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            try:
+                self.worker._post(
+                    "/heartbeat",
+                    {"worker": self.worker.worker_id, "index": self.index},
+                )
+            except WorkerError:
+                return
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=2)

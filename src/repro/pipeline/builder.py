@@ -228,6 +228,8 @@ class AcousticPipeline:
         store=None,
         from_store=None,
         recordings=None,
+        ledger=None,
+        ledger_config=None,
     ):
         """Run this spec over a corpus (see :meth:`BuiltPipeline.run_corpus`).
 
@@ -244,6 +246,22 @@ class AcousticPipeline:
                 store=store,
                 from_store=from_store,
                 recordings=recordings,
+                ledger=ledger,
+                ledger_config=ledger_config,
+            )
+        if ledger is not None:
+            from ..jobs import run_corpus as run_ledgered
+
+            return run_ledgered(
+                self,
+                corpus,
+                ledger,
+                backend=backend,
+                workers=workers,
+                sample_rate=sample_rate,
+                store=store,
+                recordings=recordings,
+                config=ledger_config,
             )
         from .executor import CorpusExecutor
 
@@ -487,6 +505,8 @@ class BuiltPipeline:
         store=None,
         from_store=None,
         recordings=None,
+        ledger=None,
+        ledger_config=None,
     ) -> list[PipelineResult]:
         """Run the pipeline over every item of a corpus, in corpus order.
 
@@ -501,7 +521,38 @@ class BuiltPipeline:
         completes; ``from_store`` replaces the corpus entirely, replaying
         the named ``recordings`` (default: all of them, in store order)
         through :meth:`run_from_store` instead of re-extracting.
+
+        ``ledger`` (a file path or a live :class:`repro.jobs.Ledger`)
+        makes the run durable: every item is tracked through a job ledger,
+        failures retry with backoff and quarantine instead of aborting,
+        and a killed run resumes where it stopped — with ``store=``, items
+        persisted before the crash are recovered from the store rather
+        than re-extracted.  Quarantined items return as ``None`` in their
+        corpus positions (see :func:`repro.jobs.run_corpus`).
+        ``ledger_config`` (a :class:`repro.jobs.LedgerConfig`) sets the
+        retry policy when the ledger file is first created; an existing
+        ledger keeps the policy it was created with.
         """
+        if ledger is not None:
+            if from_store is not None:
+                raise PipelineBuildError(
+                    "ledger= tracks extraction work; a from_store= replay "
+                    "re-reads already-persisted rows, so there is nothing "
+                    "durable to ledger — pass one or the other"
+                )
+            from ..jobs import run_corpus as run_ledgered
+
+            return run_ledgered(
+                self,
+                corpus,
+                ledger,
+                backend=backend,
+                workers=workers,
+                sample_rate=sample_rate,
+                store=store,
+                recordings=recordings,
+                config=ledger_config,
+            )
         if from_store is not None:
             if corpus is not None:
                 raise PipelineBuildError(

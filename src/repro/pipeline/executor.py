@@ -56,6 +56,15 @@ class CorpusExecutionError(RuntimeError):
     been collected — and persisted, when a ``store=`` was given — before
     the failure, so callers can resume from where the run stopped instead
     of redoing everything.
+
+    The ``completed`` contract is strict on every backend: an index is
+    appended only *after* its ``store=`` persist call returned, so a
+    persist failure (full disk, bad shard) never reports the item it was
+    persisting as completed.  Persist failures are themselves wrapped in
+    this exception with ``index``/``source``/``completed`` intact, so the
+    resume seed survives store errors as well as pipeline errors.  The
+    durable job layer built on top of this contract lives in
+    :mod:`repro.jobs`.
     """
 
     def __init__(
@@ -201,16 +210,20 @@ class CorpusExecutor:
         writer, owned = self._open_store(store)
         features = self._has_stage("features")
         results: list[PipelineResult] = []
+        completed: list[int] = []
         try:
             for index, item in enumerate(items):
                 try:
                     result = self._run_one(pipeline, index, item, sample_rate)
                 except CorpusExecutionError as exc:
-                    exc.completed = tuple(range(index))
+                    exc.completed = tuple(completed)
                     raise
                 if writer is not None:
-                    self._persist(writer, names[index], item, result, features)
+                    self._persist_checked(
+                        writer, names[index], item, result, features, index, completed
+                    )
                 results.append(result)
+                completed.append(index)
         finally:
             self._close_store(writer, owned)
         return results
@@ -283,9 +296,13 @@ class CorpusExecutor:
                             completed=tuple(completed),
                         )
                     results[index] = result
-                    completed.append(index)
+                    # Persist *before* recording completion: a failing
+                    # persist must not leave its index in the resume seed.
                     if writer is not None:
-                        self._persist(writer, names[index], items[index], result, features)
+                        self._persist_checked(
+                            writer, names[index], items[index], result, features, index, completed
+                        )
+                    completed.append(index)
         finally:
             self._close_store(writer, owned)
         return results  # type: ignore[return-value]
@@ -317,16 +334,23 @@ class CorpusExecutor:
         writer, owned = self._open_store(store)
         features = self._has_stage("features")
         results: list[PipelineResult] = []
+        # Explicit per-item completion list, same semantics as the process
+        # backend: an index enters `completed` only once its result is
+        # collected *and* persisted, never inferred from a prefix range.
+        completed: list[int] = []
         try:
             for position, future in enumerate(futures):
                 try:
                     result = future.result()
                 except CorpusExecutionError as exc:
-                    exc.completed = tuple(range(position))
+                    exc.completed = tuple(completed)
                     raise
                 if writer is not None:
-                    self._persist(writer, names[position], items[position], result, features)
+                    self._persist_checked(
+                        writer, names[position], items[position], result, features, position, completed
+                    )
                 results.append(result)
+                completed.append(position)
         finally:
             self._close_store(writer, owned)
         return results
@@ -370,6 +394,27 @@ class CorpusExecutor:
     def _persist(writer, name: str, item, result, features: bool) -> None:
         station = str(getattr(item, "station_id", "") or "")
         writer.write_result(name, result, station=station, features=features)
+
+    def _persist_checked(
+        self, writer, name: str, item, result, features: bool, index: int, completed: list[int]
+    ) -> None:
+        """Persist one result, wrapping store errors with the resume contract.
+
+        A raw persist failure (full disk, bad shard) would otherwise escape
+        without ``index``/``source``/``completed``, losing the resume seed
+        exactly when it matters most.
+        """
+        try:
+            self._persist(writer, name, item, result, features)
+        except Exception as exc:
+            source = describe_source(item)
+            raise CorpusExecutionError(
+                f"failed to persist corpus item {index} ({source}) to the "
+                f"store: {type(exc).__name__}: {exc}",
+                index=index,
+                source=source,
+                completed=tuple(completed),
+            ) from exc
 
     @staticmethod
     def _coerce_corpus(corpus) -> list:

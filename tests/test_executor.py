@@ -285,6 +285,73 @@ class TestErrorPaths:
             builder.build().run_corpus(corpus_clips, backend="process")
 
 
+class TestCompletedContract:
+    """``CorpusExecutionError.completed`` is a resume seed: it may name an
+    index only if that index's ``store=`` persist call succeeded."""
+
+    @staticmethod
+    def failing_writer(path, fail_on: int):
+        """A real store writer whose persist fails at the Nth call."""
+        from repro.store import StoreWriter
+
+        class FailingWriter(StoreWriter):
+            def __init__(self) -> None:
+                super().__init__(path)
+                self.calls = 0
+                self.persisted: list[str] = []
+
+            def write_result(self, name, result, station="", features=False) -> None:
+                self.calls += 1
+                if self.calls == fail_on:
+                    raise OSError("No space left on device (simulated)")
+                super().write_result(name, result, station=station, features=features)
+                self.persisted.append(name)
+
+        return FailingWriter()
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_persist_failure_wrapped_with_honest_completed(
+        self, trained_builder, corpus_clips, backend, tmp_path
+    ):
+        writer = self.failing_writer(tmp_path / "c.store", fail_on=2)
+        with pytest.raises(CorpusExecutionError, match="failed to persist") as excinfo:
+            trained_builder.build().run_corpus(
+                corpus_clips, backend=backend, workers=2, store=writer
+            )
+        error = excinfo.value
+        assert error.index == 1
+        # Item 1's result was *collected* but never persisted: the resume
+        # seed must not name it — only indices whose persist succeeded.
+        assert error.completed == (0,)
+        assert writer.persisted == ["rec-00000"]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_item_failure_completed_lists_persisted_only(
+        self, corpus_clips, backend, tmp_path
+    ):
+        # Explode inside the *pipeline* on a later clip: `completed` must
+        # list exactly the persisted earlier indices, not a positional
+        # prefix guess.
+        reference = AcousticPipeline().extract(FAST_EXTRACTION, keep_traces=False).build()
+        counts = [len(reference.run(clip).ensembles) for clip in corpus_clips]
+        assert counts[0] > 0
+        builder = (
+            AcousticPipeline(registry=failing_registry())
+            .extract(FAST_EXTRACTION, keep_traces=False)
+            .stage("exploding", explode_after=counts[0])
+        )
+        writer = self.failing_writer(
+            tmp_path / "c.store", fail_on=len(corpus_clips) + 1  # never fails
+        )
+        with pytest.raises(CorpusExecutionError) as excinfo:
+            builder.build().run_corpus(
+                corpus_clips, backend=backend, workers=2, store=writer
+            )
+        error = excinfo.value
+        assert error.index not in error.completed
+        assert set(error.completed) == {int(name[4:]) for name in writer.persisted}
+
+
 class TestSpecPickleRoundTrip:
     """Property: registered stage specs are serialisable-by-construction."""
 
