@@ -16,10 +16,10 @@ import numpy as np
 
 from ..config import FeatureConfig
 from ..core.cutter import Ensemble
-from ..dsp.dft import complex_magnitude, dft, frequency_band_indices
+from ..dsp.dft import complex_magnitude, dft, dft_records, frequency_band_indices
 from ..dsp.window_functions import get_window
 from ..timeseries.normalize import znormalize
-from ..timeseries.paa import paa_by_factor
+from ..timeseries.paa import paa_by_factor, paa_records
 
 __all__ = ["PatternExtractor", "IncrementalPatternBuilder", "LabelledPattern"]
 
@@ -95,6 +95,22 @@ class PatternExtractor:
         banded = spectrum[self._band]
         if self.use_paa:
             banded = paa_by_factor(banded, self.config.paa_factor)
+        return banded
+
+    def _frequency_records(self, records: np.ndarray) -> np.ndarray:
+        """A whole ``(n_records, record_size)`` block in one batched call.
+
+        One FFT call and one PAA call transform the entire block; row ``i``
+        is bit-identical to ``_frequency_record(records[i])``, so the
+        incremental builder can batch however many records a slice completes
+        without changing any output.
+        """
+        spectra = complex_magnitude(dft_records(records * self._window))
+        banded = spectra[:, self._band]
+        if self.use_paa:
+            # Same segment count as `paa_by_factor` on one record.
+            segments = max(1, int(np.ceil(banded.shape[1] / self.config.paa_factor)))
+            banded = paa_records(banded, segments)
         return banded
 
     def _normalize_pattern(self, pattern: np.ndarray) -> np.ndarray:
@@ -197,19 +213,37 @@ class IncrementalPatternBuilder:
         hop = size // 2
         group = self.extractor.config.records_per_pattern
         patterns: list[np.ndarray] = []
-        start = 0
-        while start + size <= buffer.size:
-            self._freq_records.append(
-                self.extractor._frequency_record(buffer[start : start + size])
-            )
-            self._records_built += 1
-            if len(self._freq_records) == group:
-                merged = np.concatenate(self._freq_records)
+        consumed = 0
+        if buffer.size >= size:
+            # Every record this slice completes, transformed in one batched
+            # call (one FFT for the whole block) — each row bit-identical to
+            # the per-record path the loop used to take.
+            frames = np.lib.stride_tricks.sliding_window_view(buffer, size)[::hop]
+            freq = self.extractor._frequency_records(frames)
+            consumed = frames.shape[0] * hop
+            self._records_built += frames.shape[0]
+            row = 0
+            # Top up the partial group carried from earlier slices first.
+            if self._freq_records:
+                take = min(group - len(self._freq_records), freq.shape[0])
+                self._freq_records.extend(freq[row + i].copy() for i in range(take))
+                row += take
+                if len(self._freq_records) == group:
+                    merged = np.concatenate(self._freq_records)
+                    patterns.append(self.extractor._normalize_pattern(merged))
+                    self._freq_records = []
+                    self._patterns_built += 1
+            # Whole groups merge straight out of the block; `flatten` copies,
+            # so no returned pattern aliases (and thereby pins) the block.
+            while freq.shape[0] - row >= group:
+                merged = freq[row : row + group].flatten()
                 patterns.append(self.extractor._normalize_pattern(merged))
-                self._freq_records = []
+                row += group
                 self._patterns_built += 1
-            start += hop
-        self._carry = buffer[start:].copy()
+            # Leftover records wait for the next slice — copied out so the
+            # carried rows do not keep the whole block alive either.
+            self._freq_records.extend(freq[i].copy() for i in range(row, freq.shape[0]))
+        self._carry = buffer[consumed:].copy()
         return patterns
 
     def reset(self) -> None:

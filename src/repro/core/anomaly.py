@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import AnomalyConfig
-from ..timeseries.bitmap import BitmapAccumulator, bitmap_distance
+from ..timeseries.bitmap import BitmapAccumulator, bitmap_distance, windowed_code_counts
 from ..timeseries.normalize import znormalize
 from ..timeseries.sax import symbolize
 from ..timeseries.windows import MovingAverage, moving_average
@@ -87,23 +87,16 @@ def sax_anomaly_scores(
     if eval_points.size == 0:
         return np.zeros(n)
 
-    # Cumulative gram-code counts at the eval boundaries, one code at a time
-    # (alphabet**level codes, each a vectorised searchsorted).
+    # Gram-code counts of both windows at every eval boundary in one
+    # vectorised difference-array pass — the same kernel the chunked
+    # streaming scorer uses, integer-exact.
     n_codes = config.alphabet**level
-    lead_counts = np.zeros((eval_points.size, n_codes))
-    lag_counts = np.zeros((eval_points.size, n_codes))
     lead_starts = eval_points - window + 1
     lag_starts = eval_points - window - lag_window + 1
     ends = eval_points + 1
-    for code in range(n_codes):
-        positions = np.flatnonzero(codes == code)
-        if positions.size == 0:
-            continue
-        at_end = np.searchsorted(positions, ends)
-        at_lead = np.searchsorted(positions, lead_starts)
-        at_lag = np.searchsorted(positions, lag_starts)
-        lead_counts[:, code] = at_end - at_lead
-        lag_counts[:, code] = at_lead - at_lag
+    lead_counts, lag_counts = windowed_code_counts(
+        codes, ends, lead_starts, lag_starts, n_codes, hop=hop
+    )
 
     lead_freq = lead_counts / window
     lag_freq = lag_counts / lag_window

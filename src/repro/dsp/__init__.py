@@ -5,8 +5,10 @@ from .dft import (
     complex_magnitude,
     cutout_band,
     dft,
+    dft_records,
     float_to_complex,
     frequency_band_indices,
+    power_spectra,
     power_spectrum,
 )
 from .oscillogram import Oscillogram, envelope, oscillogram
@@ -32,6 +34,7 @@ __all__ = [
     "cutout_band",
     "decimate",
     "dft",
+    "dft_records",
     "envelope",
     "float_to_complex",
     "frequency_band_indices",
@@ -42,6 +45,7 @@ __all__ = [
     "oscillogram",
     "paa_spectrogram",
     "pcm16_to_samples",
+    "power_spectra",
     "power_spectrum",
     "read_wav",
     "rectangular_window",

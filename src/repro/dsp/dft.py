@@ -13,8 +13,10 @@ import numpy as np
 __all__ = [
     "float_to_complex",
     "dft",
+    "dft_records",
     "complex_magnitude",
     "power_spectrum",
+    "power_spectra",
     "bin_frequencies",
     "frequency_band_indices",
     "cutout_band",
@@ -32,15 +34,37 @@ def dft(values: np.ndarray) -> np.ndarray:
 
     Only the non-negative-frequency half of the spectrum is returned
     (``length // 2 + 1`` bins), since the input records are real-valued audio
-    and the negative half is redundant.
+    and the negative half is redundant.  Real input goes through the
+    real-input transform (``np.fft.rfft``), which computes only the bins that
+    are kept — half the work of the full complex transform the negative bins
+    of which were discarded anyway.  Complex input keeps the historical
+    full-transform-then-slice behaviour.
     """
     arr = np.asarray(values)
     if arr.ndim != 1:
         raise ValueError(f"dft expects a 1-D record, got shape {arr.shape}")
     if arr.size == 0:
         return np.zeros(0, dtype=np.complex128)
-    spectrum = np.fft.fft(arr.astype(np.complex128))
-    return spectrum[: arr.size // 2 + 1]
+    if np.iscomplexobj(arr):
+        spectrum = np.fft.fft(arr.astype(np.complex128))
+        return spectrum[: arr.size // 2 + 1]
+    return np.fft.rfft(arr.astype(float))
+
+
+def dft_records(records: np.ndarray) -> np.ndarray:
+    """DFT of a whole block of equal-length real records in one call.
+
+    ``records`` is a 2-D ``(n_records, record_length)`` array; the result is
+    ``(n_records, record_length // 2 + 1)``.  Row ``i`` is bit-identical to
+    ``dft(records[i])`` — pocketfft applies the same 1-D real transform along
+    the last axis — so batch and per-record paths are interchangeable.
+    """
+    arr = np.asarray(records, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"dft_records expects a 2-D block, got shape {arr.shape}")
+    if arr.shape[1] == 0:
+        return np.zeros((arr.shape[0], 0), dtype=np.complex128)
+    return np.fft.rfft(arr, axis=-1)
 
 
 def complex_magnitude(values: np.ndarray) -> np.ndarray:
@@ -59,6 +83,26 @@ def power_spectrum(values: np.ndarray, window: np.ndarray | None = None) -> np.n
             )
         arr = arr * window
     return complex_magnitude(dft(arr))
+
+
+def power_spectra(records: np.ndarray, window: np.ndarray | None = None) -> np.ndarray:
+    """Magnitude spectra of a block of records, optionally windowed first.
+
+    The batched counterpart of :func:`power_spectrum`: one FFT call for the
+    whole ``(n_records, record_length)`` block, each row bit-identical to the
+    per-record path.
+    """
+    arr = np.asarray(records, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"power_spectra expects a 2-D block, got shape {arr.shape}")
+    if window is not None:
+        window = np.asarray(window, dtype=float)
+        if window.shape != (arr.shape[1],):
+            raise ValueError(
+                f"window length {window.size} does not match record length {arr.shape[1]}"
+            )
+        arr = arr * window
+    return complex_magnitude(dft_records(arr))
 
 
 def bin_frequencies(record_length: int, sample_rate: float) -> np.ndarray:
@@ -95,7 +139,11 @@ def cutout_band(
     """
     arr = np.asarray(spectrum, dtype=float)
     indices = frequency_band_indices(record_length, sample_rate, low_hz, high_hz)
-    if arr.size < (record_length // 2 + 1):
+    if arr.size != (record_length // 2 + 1):
+        # Reject both directions: a too-small spectrum cannot be sliced at
+        # all, and an oversized one (e.g. a full FFT that still carries the
+        # negative-frequency half) would be silently mis-sliced — the band
+        # indices assume exactly the non-negative bins of `record_length`.
         raise ValueError(
             f"spectrum has {arr.size} bins but a length-{record_length} record produces "
             f"{record_length // 2 + 1}"

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..config import AnomalyConfig
 from ..core.cutter import Ensemble
+from ..timeseries.bitmap import windowed_code_counts
 from ..timeseries.sax import symbolize
 
 __all__ = [
@@ -54,12 +55,19 @@ def rechunk(chunks: Iterable[np.ndarray], size: int) -> Iterator[np.ndarray]:
     carry = np.zeros(0)
     for chunk in chunks:
         arr = np.asarray(chunk, dtype=float).ravel()
-        if carry.size:
+        merged = carry.size > 0
+        if merged:
             arr = np.concatenate([carry, arr])
         full = (arr.size // size) * size
         for start in range(0, full, size):
-            yield arr[start : start + size]
-        carry = arr[full:]
+            piece = arr[start : start + size]
+            # Slices of the internal concatenation buffer are copied so a
+            # consumer that retains a chunk does not pin the whole buffer.
+            yield piece.copy() if merged else piece
+        # Copy the remainder too: carrying a view would keep the entire
+        # buffer it was sliced from alive, silently voiding the size - 1
+        # bound stated above.
+        carry = arr[full:].copy()
     if carry.size:
         yield carry
 
@@ -248,17 +256,13 @@ class ChunkedAnomalyScorer:
         lead_starts = eval_points - window + 1 - buffer_start
         lag_starts = eval_points - window - lag + 1 - buffer_start
         n_codes = cfg.alphabet**cfg.level
-        lead_counts = np.zeros((eval_points.size, n_codes))
-        lag_counts = np.zeros((eval_points.size, n_codes))
-        for code in range(n_codes):
-            positions = np.flatnonzero(buffer == code)
-            if positions.size == 0:
-                continue
-            at_end = np.searchsorted(positions, ends)
-            at_lead = np.searchsorted(positions, lead_starts)
-            at_lag = np.searchsorted(positions, lag_starts)
-            lead_counts[:, code] = at_end - at_lead
-            lag_counts[:, code] = at_lead - at_lag
+        # Both sliding windows of every evaluation point counted in one
+        # vectorised difference-array pass instead of one scan of the
+        # buffer per code — integer-exact, so the scores are bit-identical
+        # to per-code counting.
+        lead_counts, lag_counts = windowed_code_counts(
+            buffer, ends, lead_starts, lag_starts, n_codes, hop=self.hop
+        )
         eval_scores = np.sqrt(
             np.sum((lead_counts / window - lag_counts / lag) ** 2, axis=1)
         )
@@ -479,6 +483,16 @@ class ChunkedCutter:
         if isinstance(event, FragmentData):
             self._parts.append(event.samples)
             return None
+        if not self._parts:
+            # A close with no buffered data means this run's FragmentOpen /
+            # FragmentData events were consumed through push_fragments()
+            # while the close arrived here — the two entry points were mixed
+            # on one instance.  Fail loudly rather than with an IndexError.
+            raise ValueError(
+                "FragmentClose with no buffered fragment data: use either "
+                "push_block()/flush() or push_fragments()/flush_fragments() "
+                "on a given ChunkedCutter, not both"
+            )
         samples = (
             np.concatenate(self._parts) if len(self._parts) > 1 else self._parts[0]
         )

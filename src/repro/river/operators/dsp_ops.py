@@ -145,7 +145,15 @@ class DftOperator(Operator):
         if not (record.is_data and record.subtype == Subtype.COMPLEX_SPECTRUM.value):
             return [record]
         payload = np.asarray(record.payload, dtype=np.complex128).ravel()
-        spectrum = np.fft.fft(payload)[: payload.size // 2 + 1]
+        if payload.size and not np.any(payload.imag):
+            # The float2cplx -> dft chain always carries real audio with a
+            # zero imaginary part; the real-input transform computes only the
+            # kept bins and matches the batch/stream `repro.dsp.dft` kernel
+            # bit for bit (the two transforms differ at ULP level, so every
+            # execution backend must use the same one).
+            spectrum = np.fft.rfft(payload.real)
+        else:
+            spectrum = np.fft.fft(payload)[: payload.size // 2 + 1]
         context = {**record.context, "record_size": int(payload.size)}
         return [record.copy(payload=spectrum, context=context)]
 

@@ -1,6 +1,6 @@
 """Time-series representations: Z-normalisation, PAA, SAX, bitmaps, baselines."""
 
-from .bitmap import BitmapAccumulator, bitmap_distance, sax_bitmap
+from .bitmap import BitmapAccumulator, bitmap_distance, sax_bitmap, windowed_code_counts
 from .discord import Discord, brute_force_discord, find_discord
 from .distance import (
     distances_to_point,
@@ -12,7 +12,7 @@ from .distance import (
 )
 from .motif import Motif, find_motifs
 from .normalize import running_mean_std, znormalize, znormalize_safe
-from .paa import inverse_paa, paa, paa_by_factor, paa_matrix
+from .paa import inverse_paa, paa, paa_by_factor, paa_matrix, paa_records
 from .sax import (
     SaxEncoder,
     gaussian_breakpoints,
@@ -50,6 +50,7 @@ __all__ = [
     "paa",
     "paa_by_factor",
     "paa_matrix",
+    "paa_records",
     "pairwise_euclidean",
     "running_mean_std",
     "sax_bitmap",
@@ -58,6 +59,7 @@ __all__ = [
     "sliding_windows",
     "squared_euclidean",
     "symbolize",
+    "windowed_code_counts",
     "znormalize",
     "znormalize_safe",
 ]

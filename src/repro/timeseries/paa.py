@@ -12,7 +12,31 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["paa", "paa_by_factor", "inverse_paa", "paa_matrix"]
+__all__ = ["paa", "paa_records", "paa_by_factor", "inverse_paa", "paa_matrix"]
+
+
+def _fractional_weights(n: int, segments: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sparse (segment, sample, weight) triples for fractional PAA.
+
+    Sample ``j`` spans ``[j, j + 1)`` on the input axis; output segment
+    ``seg`` spans ``[seg * n/segments, (seg + 1) * n/segments)``.  The triples
+    are ordered segment-major with ascending sample index inside each
+    segment — the same order the historical double loop accumulated in, which
+    keeps `np.add.at` sums bit-identical to it.
+    """
+    seg_len = n / segments
+    segs = np.arange(segments)
+    starts = segs * seg_len
+    ends = (segs + 1) * seg_len
+    firsts = np.floor(starts).astype(np.int64)
+    lasts = np.minimum(np.ceil(ends).astype(np.int64), n)
+    counts = np.maximum(lasts - firsts, 0)
+    seg_idx = np.repeat(segs, counts)
+    offsets = np.arange(counts.sum()) - np.repeat(np.cumsum(counts) - counts, counts)
+    samples = np.repeat(firsts, counts) + offsets
+    weights = np.minimum(ends[seg_idx], samples + 1) - np.maximum(starts[seg_idx], samples)
+    keep = weights > 0
+    return seg_idx[keep], samples[keep], weights[keep]
 
 
 def paa(values: np.ndarray, segments: int) -> np.ndarray:
@@ -47,20 +71,48 @@ def paa(values: np.ndarray, segments: int) -> np.ndarray:
         return arr.reshape(segments, n // segments).mean(axis=1)
     # Fractional frame assignment: sample j spans [j, j+1) on a length-n axis
     # rescaled so each output segment spans exactly n/segments input units.
+    # `np.add.at` applies the weighted contributions sequentially in triple
+    # order, so each segment's sum accumulates in the same order as the
+    # historical per-segment loop — the result is bit-identical.
+    seg_idx, samples, weights = _fractional_weights(n, segments)
     output = np.zeros(segments, dtype=float)
-    seg_len = n / segments
-    for seg in range(segments):
-        start = seg * seg_len
-        end = (seg + 1) * seg_len
-        first = int(np.floor(start))
-        last = int(np.ceil(end))
-        total = 0.0
-        for j in range(first, min(last, n)):
-            overlap = min(end, j + 1) - max(start, j)
-            if overlap > 0:
-                total += arr[j] * overlap
-        output[seg] = total / seg_len
-    return output
+    np.add.at(output, seg_idx, arr[samples] * weights)
+    return output / (n / segments)
+
+
+def paa_records(records: np.ndarray, segments: int) -> np.ndarray:
+    """Apply PAA to every row of a 2-D block in one vectorised call.
+
+    ``records`` is ``(n_records, n)``; the result is ``(n_records,
+    segments)`` with row ``i`` bit-identical to ``paa(records[i],
+    segments)``.  Used by the batched feature-extraction and spectrogram
+    kernels so a whole block of records is reduced without a per-row Python
+    loop.
+    """
+    # Contiguity matters for bit-identity, not just speed: numpy only applies
+    # pairwise summation to unit-stride reductions, so reducing a strided
+    # view (e.g. a transposed spectrogram or a band cut-out) would round
+    # differently than the 1-D path, which always copies via `reshape`.
+    arr = np.ascontiguousarray(records, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError(f"paa_records expects a 2-D block, got shape {arr.shape}")
+    n = arr.shape[1]
+    if segments < 1:
+        raise ValueError(f"segments must be >= 1, got {segments}")
+    if n == 0:
+        raise ValueError("cannot compute PAA of empty records")
+    if segments > n:
+        raise ValueError(f"segments ({segments}) cannot exceed record length ({n})")
+    if segments == n:
+        return arr.copy()
+    if n % segments == 0:
+        return arr.reshape(arr.shape[0], segments, n // segments).mean(axis=2)
+    seg_idx, samples, weights = _fractional_weights(n, segments)
+    output = np.zeros((arr.shape[0], segments), dtype=float)
+    # Sequential per-column accumulation in triple order: each row's segment
+    # sums build up in exactly the order the 1-D kernel adds them.
+    np.add.at(output, (slice(None), seg_idx), arr[:, samples] * weights)
+    return output / (n / segments)
 
 
 def paa_by_factor(values: np.ndarray, factor: int) -> np.ndarray:
@@ -113,5 +165,6 @@ def paa_matrix(matrix: np.ndarray, segments: int, axis: int = 0) -> np.ndarray:
         raise ValueError(f"axis must be 0 or 1, got {axis}")
     if axis == 1:
         return paa_matrix(arr.T, segments, axis=0).T
-    columns = [paa(arr[:, col], segments) for col in range(arr.shape[1])]
-    return np.stack(columns, axis=1)
+    # One vectorised call over all columns instead of a per-column list;
+    # each column is bit-identical to `paa(arr[:, col], segments)`.
+    return paa_records(arr.T, segments).T

@@ -114,6 +114,19 @@ class TestDft:
         with pytest.raises(ValueError):
             frequency_band_indices(512, 16000, 5000.0, 1000.0)
 
+    def test_cutout_band_rejects_undersized_spectrum(self):
+        # A length-512 record produces 257 non-negative bins; fewer cannot
+        # even be sliced at the band indices.
+        with pytest.raises(ValueError, match="257"):
+            cutout_band(np.zeros(200), 512, 16000, 1200.0, 6400.0)
+
+    def test_cutout_band_rejects_oversized_spectrum(self):
+        # An oversized spectrum — e.g. a full 512-bin FFT still carrying the
+        # negative-frequency half — would silently be mis-sliced with
+        # indices meant for the 257 non-negative bins.
+        with pytest.raises(ValueError, match="257"):
+            cutout_band(np.zeros(512), 512, 16000, 1200.0, 6400.0)
+
 
 class TestSpectrogram:
     def test_shape_and_axes(self, rng):

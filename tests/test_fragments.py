@@ -147,6 +147,21 @@ class TestFragmentCutterProperties:
         assert isinstance(close, FragmentClose)
         assert (close.start, close.end) == (0, 9)
 
+    def test_mixing_fragment_and_block_entry_points_raises(self):
+        """A close with no buffered data is entry-point misuse, not a crash.
+
+        ``push_block`` reassembles the fragment events it generates itself;
+        if a run's ``FragmentOpen``/``FragmentData`` were drained through
+        ``push_fragments`` and only the close reaches the buffered API, the
+        reassembly buffer is empty.  The contract is a ``ValueError`` naming
+        the misuse rather than an ``IndexError`` from an empty parts list.
+        """
+        cutter = ChunkedCutter(8000, min_duration=4)
+        events = cutter.push_fragments(np.ones(6), np.ones(6))
+        assert [type(e) for e in events] == [FragmentOpen, FragmentData]
+        with pytest.raises(ValueError, match="push_block"):
+            cutter.push_block(np.zeros(3), np.zeros(3))
+
 
 def reference_patterns(extractor: PatternExtractor, samples: np.ndarray):
     """The historical batch algorithm, kept verbatim as the parity anchor."""

@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import settings as hyp_settings
+from hypothesis import strategies as st
 
 from repro.timeseries import (
     BitmapAccumulator,
@@ -220,6 +223,50 @@ class TestBitmap:
     def test_symbol_out_of_range_rejected(self):
         with pytest.raises(ValueError):
             sax_bitmap(np.array([0, 5]), alphabet=4, level=2)
+
+    @given(
+        data=st.data(),
+        alphabet=st.integers(min_value=2, max_value=8),
+        level=st.integers(min_value=1, max_value=3),
+        window=st.integers(min_value=1, max_value=40),
+    )
+    @hyp_settings(max_examples=50, deadline=None)
+    def test_accumulator_sliding_window_matches_sax_bitmap(
+        self, data, alphabet, level, window
+    ):
+        """Add/remove round-trips track ``sax_bitmap`` of the live window.
+
+        Slide a window of grams along a random symbol sequence, adding the
+        entering gram and removing the leaving one; after every step the
+        accumulator's frequencies must equal ``sax_bitmap`` recomputed from
+        scratch on the symbols currently inside the window — the invariant
+        both anomaly scorers rely on.
+        """
+        length = data.draw(st.integers(min_value=level, max_value=120))
+        symbols = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, alphabet - 1), min_size=length, max_size=length
+                )
+            ),
+            dtype=np.int64,
+        )
+        accumulator = BitmapAccumulator(alphabet=alphabet, level=level)
+        gram_count = length - level + 1
+        for i in range(gram_count):
+            accumulator.add(symbols[i : i + level])
+            if accumulator.total > window:
+                accumulator.remove(symbols[i - window : i - window + level])
+            first = max(0, i - window + 1)
+            live = symbols[first : i + level]
+            np.testing.assert_array_equal(
+                accumulator.frequencies(), sax_bitmap(live, alphabet, level)
+            )
+        # Draining the window completely must restore the all-zero state.
+        for i in range(max(gram_count - window, 0), gram_count):
+            accumulator.remove(symbols[i : i + level])
+        assert accumulator.total == 0
+        assert np.all(accumulator.frequencies() == 0.0)
 
 
 # ---------------------------------------------------------------------------
