@@ -26,7 +26,7 @@ import numpy as np
 
 from .errors import ChannelClosed, ChannelFull
 from .records import Record
-from .serialization import frame_record, pack_record, unframe_record, unpack_record
+from .serialization import frame_record_views, pack_record, unframe_record, unpack_record
 
 __all__ = ["Channel", "QueueChannel", "ByteChannel", "SimulatedLinkChannel", "LinkStats"]
 
@@ -108,9 +108,11 @@ class ByteChannel(Channel):
     """FIFO channel that round-trips every record through the wire format.
 
     Records are encoded with the exact stream framing real socket transports
-    use (:func:`~repro.river.serialization.frame_record`, length prefix
-    included), so a record crossing a ``ByteChannel`` exercises the same
-    bytes it would crossing a :class:`~repro.river.transport.SocketChannel`.
+    use (:func:`~repro.river.serialization.frame_record_views` — the same
+    view-based encoder :class:`~repro.river.transport.SocketChannel` hands
+    to ``sendmsg``, length prefix included, joined here because an
+    in-process queue needs one contiguous blob), so a record crossing a
+    ``ByteChannel`` exercises the same bytes it would crossing a socket.
     """
 
     _queue: deque = field(default_factory=deque, repr=False)
@@ -120,7 +122,7 @@ class ByteChannel(Channel):
     def put(self, record: Record) -> None:
         if self._closed:
             raise ChannelClosed("cannot put on a closed channel")
-        blob = frame_record(record)
+        blob = b"".join(frame_record_views(record))
         self.bytes_transferred += len(blob)
         self._queue.append(blob)
 

@@ -26,7 +26,7 @@ from ..records import (
     end_of_stream,
     open_scope,
 )
-from ..serialization import pack_record
+from ..serialization import pack_record_views
 
 __all__ = ["ClipSource", "WavFileSource", "ReadOut", "Rec2Vect", "VectorSink"]
 
@@ -115,10 +115,12 @@ class ReadOut(SinkOperator):
     def process(self, record: Record) -> list[Record]:
         self.collected.append(record)
         if self.path is not None:
-            blob = pack_record(record)
+            # Scatter-gather write: the payload view goes straight from the
+            # record's array into the file, never through a joined copy.
+            views = pack_record_views(record)
             with open(self.path, "ab") as handle:
-                handle.write(blob)
-            self.bytes_written += len(blob)
+                handle.writelines(views)
+            self.bytes_written += sum(len(view) for view in views)
         return []
 
 

@@ -6,8 +6,10 @@ module is the same deployment model on a real fabric:
 
 * :class:`SocketChannel` — the :class:`~repro.river.channels.Channel`
   protocol over a connected TCP socket, using the shared length-prefixed
-  record framing (:func:`~repro.river.serialization.frame_record`).  Sends
-  are non-blocking with a bounded in-flight buffer, so
+  record framing (:func:`~repro.river.serialization.frame_record_views` —
+  buffer-protocol views handed to vectored ``sendmsg`` sends, ``recv_into``
+  on a reusable buffer on the way back in, no intermediate payload copies).
+  Sends are non-blocking with a bounded in-flight buffer, so
   :class:`~repro.river.errors.ChannelFull` backpressure survives the wire
   exactly as it does on a bounded :class:`~repro.river.channels.
   QueueChannel`; a lost peer surfaces as :class:`~repro.river.errors.
@@ -60,7 +62,7 @@ from .errors import (
 )
 from .pipeline import PipelineSegment
 from .records import Record, RecordType
-from .serialization import RecordFrameDecoder, frame_record
+from .serialization import RecordFrameDecoder, frame_record_views
 
 __all__ = [
     "SocketChannel",
@@ -79,8 +81,13 @@ PARENT = "__parent__"
 #: Seconds slept when a pump loop makes no progress.
 _IDLE_SLEEP = 0.001
 
-#: recv size for socket channels.
+#: recv size for socket channels (also the reusable recv_into buffer size).
 _RECV_SIZE = 1 << 16
+
+#: Buffers handed to one sendmsg call.  Far below any platform's IOV_MAX
+#: (1024 on Linux) while still coalescing dozens of queued frames into a
+#: single syscall.
+_SENDMSG_MAX_BUFFERS = 64
 
 
 def transport_available() -> bool:
@@ -111,12 +118,20 @@ class SocketChannel(Channel):
     """The channel protocol over a connected stream socket.
 
     ``put`` frames the record with :func:`~repro.river.serialization.
-    frame_record` and sends without blocking; bytes the kernel refuses are
-    held in an in-flight buffer of at most ``capacity`` records — once it is
-    full, ``put`` raises :class:`ChannelFull`, giving producers the same
-    backpressure contract as a bounded queue.  ``get`` reads whatever the
-    socket has, reassembles frames with :class:`RecordFrameDecoder` and
-    returns one record (or ``None`` when no complete frame has arrived).
+    frame_record_views` — a small head buffer plus a memoryview straight
+    over the payload array, no intermediate copy — and sends without
+    blocking; frames the kernel refuses are held in an in-flight buffer of
+    at most ``capacity`` records — once it is full, ``put`` raises
+    :class:`ChannelFull`, giving producers the same backpressure contract
+    as a bounded queue.  Queued frames drain through ``socket.sendmsg``
+    (vectored I/O — one syscall covers up to ``_SENDMSG_MAX_BUFFERS``
+    buffers across many frames), falling back to per-buffer ``send`` loops
+    where ``sendmsg`` is unavailable.  ``get`` reads via ``recv_into`` on a
+    preallocated reusable buffer, reassembles frames with
+    :class:`RecordFrameDecoder` and returns one record (or ``None`` when no
+    complete frame has arrived).  ``TCP_NODELAY`` is set on TCP sockets so
+    small control / OpenScope / CloseScope frames are not Nagle-delayed
+    behind unacked data.
 
     Failure handling mirrors ``SocketChunkSource``'s never-hang contract:
 
@@ -134,41 +149,95 @@ class SocketChannel(Channel):
         capacity: int | None = 256,
         timeout: float = 10.0,
         label: str = "socket-channel",
+        use_sendmsg: bool | None = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (e.g. an AF_UNIX pair in tests)
         self._sock = sock
         self.capacity = capacity
         self.timeout = timeout
         self.label = label
-        self._send_buffer: deque[memoryview] = deque()
+        if use_sendmsg is None:
+            use_sendmsg = hasattr(sock, "sendmsg")
+        self._sendmsg = sock.sendmsg if use_sendmsg else None
+        #: One entry per queued frame: the frame's not-yet-sent buffer views.
+        self._send_buffer: deque[list[memoryview]] = deque()
         self._decoder = RecordFrameDecoder()
+        self._recv_buffer = bytearray(_RECV_SIZE)
+        self._recv_view = memoryview(self._recv_buffer)
         self._inbox: deque[Record] = deque()
         self._eof = False
         self._closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.send_syscalls = 0
+        self.recv_syscalls = 0
 
     # -- sending ---------------------------------------------------------------
+
+    def _consume_sent(self, sent: int) -> None:
+        """Drop ``sent`` bytes of queued frame views from the front."""
+        while self._send_buffer:
+            views = self._send_buffer[0]
+            while views:
+                head = views[0]
+                # >= admits zero-length views at sent == 0, so a drained
+                # frame is always popped rather than wedging the queue.
+                if sent >= len(head):
+                    sent -= len(head)
+                    views.pop(0)
+                else:
+                    views[0] = head[sent:]
+                    return
+            self._send_buffer.popleft()
+            if not sent:
+                return
 
     def _flush_once(self) -> bool:
         """Push buffered bytes into the socket; True when fully flushed."""
         while self._send_buffer:
-            view = self._send_buffer[0]
-            try:
-                sent = self._sock.send(view)
-            except (BlockingIOError, InterruptedError):
-                return False
-            except OSError as exc:
-                raise ChannelSendError(f"{self.label}: peer lost mid-send: {exc}") from exc
-            self.bytes_sent += sent
-            if sent < len(view):
-                self._send_buffer[0] = view[sent:]
-                return False
-            self._send_buffer.popleft()
+            if self._sendmsg is not None:
+                # Vectored send: coalesce the views of as many queued frames
+                # as fit one iovec into a single syscall.
+                buffers: list[memoryview] = []
+                total = 0
+                for views in self._send_buffer:
+                    if buffers and len(buffers) + len(views) > _SENDMSG_MAX_BUFFERS:
+                        break
+                    for view in views:
+                        buffers.append(view)
+                        total += len(view)
+                try:
+                    sent = self._sendmsg(buffers)
+                except (BlockingIOError, InterruptedError):
+                    return False
+                except OSError as exc:
+                    raise ChannelSendError(f"{self.label}: peer lost mid-send: {exc}") from exc
+                self.bytes_sent += sent
+                self.send_syscalls += 1
+                self._consume_sent(sent)
+                if sent < total:
+                    return False
+            else:
+                view = self._send_buffer[0][0]
+                try:
+                    sent = self._sock.send(view)
+                except (BlockingIOError, InterruptedError):
+                    return False
+                except OSError as exc:
+                    raise ChannelSendError(f"{self.label}: peer lost mid-send: {exc}") from exc
+                self.bytes_sent += sent
+                self.send_syscalls += 1
+                self._consume_sent(sent)
+                if sent < len(view):
+                    return False
         return True
 
     def put(self, record: Record) -> None:
@@ -180,7 +249,7 @@ class SocketChannel(Channel):
                 f"{self.label}: {len(self._send_buffer)} records in flight "
                 f"reached the channel capacity of {self.capacity}"
             )
-        self._send_buffer.append(memoryview(frame_record(record)))
+        self._send_buffer.append(frame_record_views(record))
         self._flush_once()
 
     def flush(self, timeout: float | None = None) -> None:
@@ -211,14 +280,14 @@ class SocketChannel(Channel):
         # bounded backpressure end to end, not just on the send side.
         while self.capacity is None or len(self._inbox) < self.capacity:
             try:
-                piece = self._sock.recv(_RECV_SIZE)
+                received = self._sock.recv_into(self._recv_buffer)
             except (BlockingIOError, InterruptedError):
                 return
             except OSError as exc:
                 raise ChannelReceiveError(
                     f"{self.label}: connection lost mid-stream: {exc}"
                 ) from exc
-            if not piece:
+            if not received:
                 self._eof = True
                 if self._decoder.pending_bytes:
                     raise ChannelReceiveError(
@@ -228,8 +297,9 @@ class SocketChannel(Channel):
                         "record boundary"
                     )
                 return
-            self.bytes_received += len(piece)
-            self._inbox.extend(self._decoder.feed(piece))
+            self.bytes_received += received
+            self.recv_syscalls += 1
+            self._inbox.extend(self._decoder.feed(self._recv_view[:received]))
 
     def get(self) -> Record | None:
         if self._inbox:

@@ -196,6 +196,102 @@ class TestSocketChannel:
         server.close()
 
 
+class TestZeroCopyWirePath:
+    """The scatter-gather wire path: vectored sends, recv_into, TCP_NODELAY."""
+
+    def test_tcp_nodelay_set_on_both_sides(self):
+        """Satellite regression: Nagle must be off on connect *and* accept
+        sides, or small control/OpenScope/CloseScope frames queue behind
+        unacked data."""
+        client, server = tcp_pair()
+        sender = SocketChannel(client, label="connect-side")
+        receiver = SocketChannel(server, label="accept-side")
+        assert client.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+        assert server.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY) != 0
+        sender.close()
+        receiver.close()
+
+    @pytest.mark.skipif(
+        not hasattr(socket.socket, "sendmsg"), reason="platform lacks sendmsg"
+    )
+    def test_sendmsg_coalesces_queued_frames(self, rng):
+        """Once frames queue behind a full kernel buffer, draining them takes
+        far fewer syscalls than frames — sendmsg gathers many per call."""
+        client, server = tcp_pair()
+        client.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        sender = SocketChannel(client, capacity=None, label="coalescing")
+        # One large record wedges the kernel buffer ...
+        sender.put(data_record(rng.normal(size=8192)))
+        # ... so these small records pile up in the channel's frame queue.
+        for sequence in range(50):
+            sender.put(data_record(np.arange(4.0), sequence=sequence))
+        queued = len(sender._send_buffer)
+        assert queued > 10, "records never queued; cannot measure coalescing"
+        before = sender.send_syscalls
+        deadline = time.monotonic() + 10.0
+        while sender._send_buffer:
+            assert time.monotonic() < deadline, "drain never completed"
+            server.recv(1 << 20)
+            sender._flush_once()
+        syscalls = sender.send_syscalls - before
+        assert syscalls < queued / 2, (
+            f"{syscalls} syscalls for {queued} queued frames: no coalescing"
+        )
+        client.close()
+        server.close()
+
+    def test_fallback_send_path_round_trips(self, rng):
+        """use_sendmsg=False exercises the per-buffer send loop used where
+        vectored I/O is unavailable — byte-identical on the wire."""
+        client, server = tcp_pair()
+        sender = SocketChannel(client, use_sendmsg=False, label="fallback")
+        receiver = SocketChannel(server)
+        assert sender._sendmsg is None
+        records = [
+            data_record(rng.normal(size=1000), sequence=0),
+            data_record(np.zeros(0), sequence=1),
+            data_record(rng.normal(size=3), sequence=2, context={"offset": 7}),
+        ]
+        for record in records:
+            sender.put(record)
+        sender.flush()
+        for record in records:
+            assert_records_equal(record, get_within(receiver))
+        sender.close()
+        receiver.close()
+
+    def test_recv_syscalls_counted_and_buffer_reused(self, rng):
+        client, server = tcp_pair()
+        sender = SocketChannel(client)
+        receiver = SocketChannel(server)
+        buffer_before = receiver._recv_buffer
+        for sequence in range(5):
+            sender.put(data_record(rng.normal(size=256), sequence=sequence))
+        sender.flush()
+        for _ in range(5):
+            get_within(receiver)
+        assert receiver.recv_syscalls >= 1
+        assert receiver._recv_buffer is buffer_before  # preallocated, reused
+        sender.close()
+        receiver.close()
+
+    def test_poisoned_prefix_surfaces_as_serialization_error(self):
+        from repro.river import SerializationError
+
+        client, server = tcp_pair()
+        receiver = SocketChannel(server, label="poisoned")
+        client.sendall(
+            __import__("struct").pack("<I", (1 << 32) - 1) + b"\x00" * 64
+        )
+        deadline = time.monotonic() + 5.0
+        with pytest.raises(SerializationError, match="max_frame_bytes"):
+            while time.monotonic() < deadline:
+                receiver.get()
+                time.sleep(0.001)
+        client.close()
+
+
 class TestByteChannelSharedFraming:
     """Satellite regression: ByteChannel and SocketChannel share one wire
     encoding, so a record crossing either channel is byte-identical."""
